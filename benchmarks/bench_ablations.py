@@ -1,0 +1,174 @@
+"""Ablations — design choices DESIGN.md calls out, beyond the paper.
+
+Each ablation flips one knob of the best all-round mechanism (CUA&SPAA)
+and reports the same Fig. 6 metrics:
+
+* reserved-node backfill loans on/off (§III-B.1's utilization lever);
+* EASY backfilling on/off (the baseline scheduler's key feature);
+* malleable flexibility on/off (scheduler-chosen start sizes);
+* queue-ordering policy (FCFS vs SJF vs LJF) under the same mechanism;
+* malleable minimum-size fraction (20 % default vs 50 %).
+"""
+
+from dataclasses import replace
+
+from repro.core.mechanisms import Mechanism
+from repro.experiments.runner import run_mechanism_grid
+from repro.metrics.report import format_summary_rows, format_table
+from repro.sched.fcfs import FcfsPolicy, LjfPolicy, SjfPolicy
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulation
+from repro.metrics.summary import average_summaries, summarize
+from repro.workload.theta import generate_trace
+from repro.workload.trace import clone_jobs
+
+MECH = Mechanism.parse("CUA&SPAA")
+
+
+def _grid_row(campaign, sim):
+    grid = run_mechanism_grid(
+        campaign.spec, [MECH], campaign.seeds(), sim=sim, workers=campaign.workers
+    )
+    return grid[MECH.name]
+
+
+def test_ablation_reserved_loans(benchmark, campaign, emit):
+    """Reserved-idle nodes loaned to backfill vs held strictly idle."""
+
+    def run():
+        on = _grid_row(campaign, replace(campaign.sim, allow_reserved_loans=True))
+        off = _grid_row(campaign, replace(campaign.sim, allow_reserved_loans=False))
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_reserved_loans",
+        format_table(
+            ["loans", "util", "turnaround[h]", "instant"],
+            [
+                ["on", on.system_utilization, on.avg_turnaround_h, on.instant_start_rate],
+                ["off", off.system_utilization, off.avg_turnaround_h, off.instant_start_rate],
+            ],
+            title="Ablation — backfilling onto reserved nodes",
+        ),
+    )
+    # loans exist to claw back the reservations' idle cost
+    assert on.system_utilization >= off.system_utilization - 0.02
+    assert on.instant_start_rate > 0.9 and off.instant_start_rate > 0.9
+
+
+def test_ablation_backfill(benchmark, campaign, emit):
+    """EASY backfilling on/off under the hybrid mechanism."""
+
+    def run():
+        on = _grid_row(campaign, replace(campaign.sim, backfill_enabled=True))
+        off = _grid_row(campaign, replace(campaign.sim, backfill_enabled=False))
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_backfill",
+        format_table(
+            ["backfill", "util", "turnaround[h]"],
+            [
+                ["on", on.system_utilization, on.avg_turnaround_h],
+                ["off", off.system_utilization, off.avg_turnaround_h],
+            ],
+            title="Ablation — EASY backfilling",
+        ),
+    )
+    assert on.system_utilization >= off.system_utilization - 0.02
+    assert on.avg_turnaround_h <= off.avg_turnaround_h * 1.3
+
+
+def test_ablation_malleable_flexibility(benchmark, campaign, emit):
+    """Scheduler-chosen malleable start sizes vs rigid-like fixed sizes."""
+
+    def run():
+        flex = _grid_row(campaign, replace(campaign.sim, flexible_malleable=True))
+        stiff = _grid_row(campaign, replace(campaign.sim, flexible_malleable=False))
+        return flex, stiff
+
+    flex, stiff = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_malleable_flex",
+        format_table(
+            ["malleable", "turnaround[h]", "malleable[h]", "util"],
+            [
+                ["flexible", flex.avg_turnaround_h, flex.avg_turnaround_malleable_h, flex.system_utilization],
+                ["fixed", stiff.avg_turnaround_h, stiff.avg_turnaround_malleable_h, stiff.system_utilization],
+            ],
+            title="Ablation — malleable start-size flexibility",
+        ),
+    )
+    # flexibility is the malleable incentive: it must not hurt them
+    assert (
+        flex.avg_turnaround_malleable_h
+        <= stiff.avg_turnaround_malleable_h * 1.1
+    )
+
+
+def test_ablation_ordering_policy(benchmark, campaign, emit):
+    """The mechanisms compose with any queue-ordering policy (§III)."""
+
+    def run_policy(policy):
+        summaries = []
+        for seed in campaign.seeds():
+            jobs = generate_trace(campaign.spec, seed=seed)
+            result = Simulation(
+                clone_jobs(jobs), campaign.sim, MECH, policy=policy
+            ).run()
+            summaries.append(summarize(result))
+        return average_summaries(summaries)
+
+    def run():
+        return {
+            "fcfs": run_policy(FcfsPolicy()),
+            "sjf": run_policy(SjfPolicy()),
+            "ljf": run_policy(LjfPolicy()),
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_policy",
+        format_table(
+            ["policy", "turnaround[h]", "util", "instant"],
+            [
+                [name, s.avg_turnaround_h, s.system_utilization, s.instant_start_rate]
+                for name, s in rows.items()
+            ],
+            title="Ablation — queue ordering policy under CUA&SPAA",
+        ),
+    )
+    # instant start is mechanism-driven, not policy-driven
+    for s in rows.values():
+        assert s.instant_start_rate > 0.9
+
+
+def test_ablation_malleable_min_size(benchmark, campaign, emit):
+    """Deeper shrinkability (smaller min sizes) gives SPAA more supply."""
+
+    def run():
+        out = {}
+        for frac in (0.2, 0.5):
+            spec = replace(campaign.spec, malleable_min_size_frac=frac)
+            grid = run_mechanism_grid(
+                spec, [MECH], campaign.seeds(), sim=campaign.sim,
+                workers=campaign.workers,
+            )
+            out[frac] = grid[MECH.name]
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_min_size",
+        format_summary_rows(
+            list(rows.values()),
+            title="Ablation — malleable min size 20% vs 50% (CUA&SPAA)",
+        ),
+    )
+    # shallower shrink (50%) forces more malleable preemptions
+    assert (
+        rows[0.2].preemption_ratio_malleable
+        <= rows[0.5].preemption_ratio_malleable + 0.05
+    )

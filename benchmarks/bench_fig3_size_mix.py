@@ -1,0 +1,23 @@
+"""Fig. 3 — jobs (outer ring) and core-hours (inner ring) by size range.
+
+The paper's shape: small jobs (128-256 nodes) dominate the job count
+while mid/large jobs take a disproportionate share of core-hours.
+"""
+
+from repro.experiments.figures import fig3_size_mix
+
+
+def test_fig3(benchmark, campaign, emit):
+    out = benchmark.pedantic(
+        lambda: fig3_size_mix(campaign), rounds=1, iterations=1
+    )
+    emit("fig3_size_mix", out["text"])
+    buckets = out["buckets"]
+    counts = [b[1] for b in buckets]
+    core_hours = [b[2] for b in buckets]
+    # job counts are dominated by the smallest bucket ...
+    assert counts[0] == max(counts)
+    # ... while core-hours shift toward larger jobs (Fig. 3's contrast)
+    small_ch_share = core_hours[0] / sum(core_hours)
+    small_job_share = counts[0] / sum(counts)
+    assert small_ch_share < small_job_share

@@ -1,0 +1,19 @@
+"""Fig. 4 — job-type distribution (rigid / on-demand / malleable) per trace.
+
+The paper assigns types at project granularity (10% / 60% / 30% of
+projects), so the per-trace share of *jobs* varies widely between seeds —
+on-demand jobs span roughly 3-15% of jobs across their traces.
+"""
+
+from repro.experiments.figures import fig4_type_mix
+
+
+def test_fig4(benchmark, campaign, emit):
+    out = benchmark.pedantic(
+        lambda: fig4_type_mix(campaign), rounds=1, iterations=1
+    )
+    emit("fig4_type_mix", out["text"])
+    for shares in out["shares"]:
+        assert shares["rigid"] > shares["ondemand"]
+        assert 0.0 <= shares["ondemand"] < 0.45
+        assert shares["malleable"] > 0.0

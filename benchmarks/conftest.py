@@ -1,0 +1,62 @@
+"""Shared scale knobs for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+laptop-friendly scale and prints the exhibit (run pytest with ``-s`` to
+see it inline; it is also written to ``benchmarks/out/``).  Environment
+variables scale the campaign up to paper scale:
+
+=================  =======  =========================================
+variable           default  meaning
+=================  =======  =========================================
+REPRO_BENCH_DAYS   14       trace horizon in days (paper: 365)
+REPRO_BENCH_TRACES 2        random trace replicas per cell (paper: 10)
+REPRO_BENCH_WORKERS auto    worker processes for grids
+=================  =======  =========================================
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.workload.spec import theta_spec
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_days() -> float:
+    return float(os.environ.get("REPRO_BENCH_DAYS", "14"))
+
+
+def bench_traces() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRACES", "2"))
+
+
+def bench_workers() -> int:
+    default = max(1, min(4, (os.cpu_count() or 2) - 1))
+    return int(os.environ.get("REPRO_BENCH_WORKERS", str(default)))
+
+
+@pytest.fixture(scope="session")
+def campaign() -> ExperimentConfig:
+    """The standard benchmark campaign (Fig. 6 defaults, W5 mix)."""
+    return ExperimentConfig(
+        spec=theta_spec(days=bench_days()),
+        n_traces=bench_traces(),
+        workers=bench_workers(),
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print an exhibit and persist it under benchmarks/out/."""
+
+    def _emit(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: generate a Theta-like trace, run the baseline and one
+hybrid mechanism, and compare the paper's four metrics.
+
+Run:
+    python examples/quickstart.py [--days 7] [--seed 0]
+
+What you should see: the mechanism pushes the on-demand instant start
+rate from the baseline's ~20-30% to ~100%, at a small turnaround cost for
+rigid jobs — the headline trade-off of the paper.
+"""
+
+import argparse
+
+from repro import (
+    Mechanism,
+    SimConfig,
+    Simulation,
+    clone_jobs,
+    generate_trace,
+    summarize,
+    theta_spec,
+)
+from repro.metrics.report import format_summary_rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=7.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mechanism", default="CUA&SPAA")
+    args = parser.parse_args()
+
+    # 1. A synthetic workload calibrated to Theta's published statistics.
+    spec = theta_spec(days=args.days)
+    trace = generate_trace(spec, seed=args.seed)
+    ods = sum(1 for j in trace if j.is_ondemand)
+    print(
+        f"trace: {len(trace)} jobs over {args.days:g} days "
+        f"({ods} on-demand) on {spec.system_size} nodes\n"
+    )
+
+    # 2. Baseline: plain FCFS + EASY backfilling, no special treatment.
+    baseline = Simulation(clone_jobs(trace), SimConfig(), mechanism=None).run()
+
+    # 3. One of the six hybrid mechanisms (advance-notice & arrival pair).
+    mech = Mechanism.parse(args.mechanism)
+    hybrid = Simulation(clone_jobs(trace), SimConfig(), mechanism=mech).run()
+
+    # 4. The paper's metrics, side by side.
+    print(
+        format_summary_rows(
+            [summarize(baseline), summarize(hybrid)],
+            title=f"baseline vs {mech.name} (seed {args.seed})",
+        )
+    )
+    b, h = summarize(baseline), summarize(hybrid)
+    print(
+        f"\non-demand instant start: {b.instant_start_rate:.1%} -> "
+        f"{h.instant_start_rate:.1%}"
+    )
+    print(
+        f"mean on-demand start delay: {b.avg_ondemand_delay_s:,.0f}s -> "
+        f"{h.avg_ondemand_delay_s:,.0f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

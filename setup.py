@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml ([project] table); this file exists
+only so `pip install -e .` works on environments without the `wheel`
+package (pip then uses the legacy `setup.py develop` editable path).
+"""
+
+from setuptools import setup
+
+setup()

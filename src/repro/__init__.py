@@ -1,0 +1,89 @@
+"""repro — reproduction of "Hybrid Workload Scheduling on HPC Systems".
+
+Fan, Lan, Rich, Allcock, Papka (IPDPS 2022, arXiv:2109.05412): six
+mechanisms for co-scheduling **on-demand**, **rigid**, and **malleable**
+jobs on a single HPC system, evaluated by trace-driven discrete-event
+simulation on Theta-like workloads.
+
+Quickstart::
+
+    from repro import (
+        Mechanism, SimConfig, Simulation, generate_trace, theta_spec,
+        clone_jobs, summarize,
+    )
+
+    trace = generate_trace(theta_spec(days=7), seed=0)
+    result = Simulation(
+        clone_jobs(trace), SimConfig(), Mechanism.parse("CUA&SPAA")
+    ).run()
+    print(summarize(result).instant_start_rate)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.mechanisms import (
+    ALL_MECHANISMS,
+    ArrivalStrategy,
+    Mechanism,
+    NoticeStrategy,
+)
+from repro.jobs.checkpoint import CheckpointModel
+from repro.jobs.job import Job, JobState, JobType, NoticeClass
+from repro.sim.failures import FailureModel
+from repro.metrics.summary import SummaryMetrics, average_summaries, summarize
+from repro.sched.fcfs import FcfsPolicy, LjfPolicy, SjfPolicy
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulation, SimulationResult
+from repro.workload.spec import (
+    NOTICE_MIXES,
+    NoticeMix,
+    W1,
+    W2,
+    W3,
+    W4,
+    W5,
+    WorkloadSpec,
+    theta_spec,
+)
+from repro.workload.theta import ThetaWorkloadGenerator, generate_trace
+from repro.workload.trace import clone_jobs, load_trace_csv, save_trace_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MECHANISMS",
+    "ArrivalStrategy",
+    "Mechanism",
+    "NoticeStrategy",
+    "CheckpointModel",
+    "FailureModel",
+    "Job",
+    "JobState",
+    "JobType",
+    "NoticeClass",
+    "SummaryMetrics",
+    "average_summaries",
+    "summarize",
+    "FcfsPolicy",
+    "SjfPolicy",
+    "LjfPolicy",
+    "SimConfig",
+    "Simulation",
+    "SimulationResult",
+    "NOTICE_MIXES",
+    "NoticeMix",
+    "W1",
+    "W2",
+    "W3",
+    "W4",
+    "W5",
+    "WorkloadSpec",
+    "theta_spec",
+    "ThetaWorkloadGenerator",
+    "generate_trace",
+    "clone_jobs",
+    "load_trace_csv",
+    "save_trace_csv",
+    "__version__",
+]

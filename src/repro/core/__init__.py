@@ -1,0 +1,45 @@
+"""The paper's contribution: hybrid-workload scheduling mechanisms.
+
+A *mechanism* pairs an advance-notice strategy with an arrival strategy
+(§III-B): ``{N, CUA, CUP} x {PAA, SPAA}`` giving the six mechanisms the
+paper evaluates.  The :class:`~repro.core.coordinator.HybridCoordinator`
+implements the four on-demand lifecycle events (advance notice, actual
+arrival, estimated-arrival timeout, completion) on top of:
+
+* :class:`~repro.core.reservation.ReservationBook` — idle-node holdings,
+  backfill loans, CUP earmarks and planned preemptions;
+* :class:`~repro.core.ledger.LenderLedger` — who lent nodes to which
+  on-demand job, settled at on-demand completion (§III-B.3);
+* :func:`~repro.core.preemption.select_victims` — cheapest-first victim
+  selection by preemption overhead;
+* :func:`~repro.core.shrink.plan_even_shrink` — SPAA's even water-filling
+  shrink of running malleable jobs.
+"""
+
+from repro.core.coordinator import HybridCoordinator
+from repro.core.ledger import Lease, LeaseKind, LenderLedger
+from repro.core.mechanisms import (
+    ALL_MECHANISMS,
+    ArrivalStrategy,
+    Mechanism,
+    NoticeStrategy,
+)
+from repro.core.preemption import VictimCandidate, select_victims
+from repro.core.reservation import Reservation, ReservationBook
+from repro.core.shrink import plan_even_shrink
+
+__all__ = [
+    "HybridCoordinator",
+    "Lease",
+    "LeaseKind",
+    "LenderLedger",
+    "ALL_MECHANISMS",
+    "ArrivalStrategy",
+    "Mechanism",
+    "NoticeStrategy",
+    "VictimCandidate",
+    "select_victims",
+    "Reservation",
+    "ReservationBook",
+    "plan_even_shrink",
+]

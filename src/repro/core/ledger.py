@@ -1,0 +1,77 @@
+"""The lender ledger (§III-B.3).
+
+When an on-demand job takes nodes from a running job — by preempting it or
+by shrinking it — the victim becomes a *lender* and the on-demand job owes
+it the borrowed nodes.  "For job fairness, once an on-demand job is
+completed, the on-demand job will try to return its nodes to the lenders":
+
+* a preempted lender still waiting in the queue resumes immediately if the
+  returned lease plus the free pool covers its (minimum) size;
+* a shrunk lender still running expands back toward its original size;
+* anything else (lender finished, or already resumed on other nodes) goes
+  to the common free pool.
+
+Note the asymmetry that drives Observation 2 of the paper: the on-demand
+job only owes what it *took* — when a 2000-node job is preempted to cover
+a 500-node deficit, the other 1500 nodes enter the free pool and may be
+consumed by anyone, so the lender may starve waiting to re-assemble its
+full allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class LeaseKind(enum.Enum):
+    PREEMPTED = "preempted"
+    SHRUNK = "shrunk"
+
+
+@dataclass
+class Lease:
+    """Nodes an on-demand job owes back to one lender."""
+
+    od_job_id: int
+    lender_job_id: int
+    nodes: int
+    kind: LeaseKind
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError("a lease must cover at least one node")
+
+
+class LenderLedger:
+    """All outstanding leases, grouped by the borrowing on-demand job."""
+
+    def __init__(self) -> None:
+        self._by_od: Dict[int, List[Lease]] = {}
+
+    def add(self, lease: Lease) -> None:
+        """Record a new lease (merges with an existing same-pair lease)."""
+        leases = self._by_od.setdefault(lease.od_job_id, [])
+        for existing in leases:
+            if (
+                existing.lender_job_id == lease.lender_job_id
+                and existing.kind == lease.kind
+            ):
+                existing.nodes += lease.nodes
+                return
+        leases.append(lease)
+
+    def outstanding(self, od_job_id: int) -> List[Lease]:
+        """Leases owed by *od_job_id*, in the order they were taken."""
+        return list(self._by_od.get(od_job_id, ()))
+
+    def settle(self, od_job_id: int) -> List[Lease]:
+        """Remove and return all leases owed by *od_job_id*."""
+        return self._by_od.pop(od_job_id, [])
+
+    def total_owed(self, od_job_id: int) -> int:
+        return sum(l.nodes for l in self._by_od.get(od_job_id, ()))
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_od.values())

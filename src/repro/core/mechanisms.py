@@ -1,0 +1,84 @@
+"""The six hybrid scheduling mechanisms (§III-B).
+
+Advance-notice strategies (what happens when an on-demand job announces
+itself 15-30 minutes ahead of arrival):
+
+* **N** — do nothing; handle the job when it actually arrives.
+* **CUA** — reserve currently-free nodes, then passively *collect* nodes
+  released by finishing jobs until the request is fulfilled or the job
+  arrives.  Competing on-demand jobs are served earliest-notice-first.
+* **CUP** — reserve currently-free nodes, *earmark* running jobs whose
+  estimated end precedes the predicted arrival, and plan preemptions for
+  any remainder (rigid victims immediately after a checkpoint).
+
+Arrival strategies (what happens the moment the job actually arrives, if
+free + reserved nodes are still insufficient):
+
+* **PAA** — preempt running jobs in ascending preemption-overhead order.
+* **SPAA** — first try to *shrink* all running malleable jobs evenly down
+  toward their minimum sizes; if the shrink supply cannot cover the
+  deficit, fall back to PAA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.errors import ConfigurationError
+
+
+class NoticeStrategy(enum.Enum):
+    """Advance-notice handling strategy."""
+
+    NOTHING = "N"
+    COLLECT_UNTIL_ACTUAL = "CUA"
+    COLLECT_UNTIL_PREDICTED = "CUP"
+
+
+class ArrivalStrategy(enum.Enum):
+    """Actual-arrival handling strategy."""
+
+    PREEMPT = "PAA"
+    SHRINK_PREEMPT = "SPAA"
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """A (notice, arrival) strategy pair, e.g. ``CUA&SPAA``."""
+
+    notice: NoticeStrategy
+    arrival: ArrivalStrategy
+
+    @property
+    def name(self) -> str:
+        return f"{self.notice.value}&{self.arrival.value}"
+
+    @staticmethod
+    def parse(name: str) -> "Mechanism":
+        """Parse ``"CUP&PAA"``-style names (case-insensitive)."""
+        try:
+            notice_s, arrival_s = name.upper().replace(" ", "").split("&")
+            notice = NoticeStrategy(notice_s)
+            arrival = ArrivalStrategy(arrival_s)
+        except (ValueError, KeyError) as exc:
+            valid = ", ".join(m.name for m in ALL_MECHANISMS)
+            raise ConfigurationError(
+                f"unknown mechanism {name!r}; expected one of: {valid}"
+            ) from exc
+        return Mechanism(notice, arrival)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The six mechanisms in the order the paper's figures present them.
+ALL_MECHANISMS: List[Mechanism] = [
+    Mechanism(NoticeStrategy.NOTHING, ArrivalStrategy.PREEMPT),
+    Mechanism(NoticeStrategy.NOTHING, ArrivalStrategy.SHRINK_PREEMPT),
+    Mechanism(NoticeStrategy.COLLECT_UNTIL_ACTUAL, ArrivalStrategy.PREEMPT),
+    Mechanism(NoticeStrategy.COLLECT_UNTIL_ACTUAL, ArrivalStrategy.SHRINK_PREEMPT),
+    Mechanism(NoticeStrategy.COLLECT_UNTIL_PREDICTED, ArrivalStrategy.PREEMPT),
+    Mechanism(NoticeStrategy.COLLECT_UNTIL_PREDICTED, ArrivalStrategy.SHRINK_PREEMPT),
+]

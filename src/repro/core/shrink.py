@@ -1,0 +1,98 @@
+"""SPAA's even shrink of running malleable jobs (§III-B.2).
+
+"This method first finds all currently running malleable jobs and computes
+the maximum number of nodes they can supply by shrinking to their minimum
+sizes.  If the supply can meet the on-demand job's request, the running
+malleable jobs will shrink their sizes evenly."
+
+*Evenly* is implemented as water-filling: all jobs are lowered toward a
+common level ``L`` (never below their own minimum) until the deficit is
+covered.  The exact integer level is found by bisection on the supply
+function ``S(L) = sum(max(0, cur_i - max(min_i, L)))``, which is
+non-increasing in ``L``; the integer surplus at the chosen level is
+returned one node at a time to the lowest-id jobs, keeping the result
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ShrinkCandidate:
+    """A running malleable job that could give up nodes."""
+
+    job_id: int
+    current: int
+    minimum: int
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.minimum <= self.current):
+            raise ValueError(
+                f"job {self.job_id}: invalid shrink bounds "
+                f"min={self.minimum} cur={self.current}"
+            )
+
+
+def _supply_at(candidates: Sequence[ShrinkCandidate], level: int) -> int:
+    return sum(
+        max(0, c.current - max(c.minimum, level)) for c in candidates
+    )
+
+
+def plan_even_shrink(
+    candidates: Sequence[ShrinkCandidate], deficit: int
+) -> Optional[Dict[int, int]]:
+    """Plan an even shrink freeing exactly *deficit* nodes.
+
+    Returns ``{job_id: nodes_taken}`` (only jobs that actually shrink), or
+    ``None`` when shrinking everything to minimum cannot cover the deficit
+    (SPAA then falls back to PAA).
+    """
+    if deficit <= 0:
+        return {}
+    total_supply = _supply_at(candidates, 0)
+    if total_supply < deficit:
+        return None
+
+    # Largest integer level L with supply(L) >= deficit.  supply() is
+    # non-increasing in L, supply(0) >= deficit, so bisect on [0, max cur].
+    lo, hi = 0, max(c.current for c in candidates)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if _supply_at(candidates, mid) >= deficit:
+            lo = mid
+        else:
+            hi = mid - 1
+    level = lo
+
+    takes: Dict[int, int] = {}
+    for c in candidates:
+        take = max(0, c.current - max(c.minimum, level))
+        if take > 0:
+            takes[c.job_id] = take
+
+    # Return the integer surplus one node at a time, lowest job id first,
+    # to jobs that were shrunk all the way to the common level (they have
+    # headroom to sit one node above it).
+    surplus = sum(takes.values()) - deficit
+    if surplus > 0:
+        at_level = sorted(
+            c.job_id
+            for c in candidates
+            if c.job_id in takes and max(c.minimum, level) == level
+        )
+        for job_id in at_level:
+            if surplus == 0:
+                break
+            takes[job_id] -= 1
+            surplus -= 1
+            if takes[job_id] == 0:
+                del takes[job_id]
+    if surplus != 0:
+        raise AssertionError(
+            f"water-fill failed to balance: surplus={surplus} at level {level}"
+        )
+    return takes

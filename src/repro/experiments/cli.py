@@ -1,0 +1,152 @@
+"""Command-line front end: ``repro-hybrid <exhibit> [options]``.
+
+Examples::
+
+    repro-hybrid table2 --days 28 --traces 3
+    repro-hybrid fig6 --days 21 --traces 2 --workers 4
+    repro-hybrid fig7 --multipliers 0.5 1 2
+    repro-hybrid compare --mechanisms "CUA&SPAA" "N&PAA"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.core.mechanisms import ALL_MECHANISMS, Mechanism
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import figures
+from repro.sim.config import SimConfig
+from repro.sim.failures import FailureModel
+from repro.util.timeconst import DAY
+from repro.workload.spec import NOTICE_MIXES, theta_spec
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    spec = theta_spec(
+        days=args.days,
+        target_load=args.load,
+        system_size=args.nodes,
+        notice_mix=NOTICE_MIXES[args.mix],
+        ondemand_noshow_frac=args.noshow_frac,
+    )
+    failures = (
+        FailureModel(enabled=True, node_mtbf_s=args.failure_mtbf_days * DAY)
+        if args.failure_mtbf_days
+        else FailureModel.disabled()
+    )
+    sim = SimConfig(
+        system_size=args.nodes,
+        backfill_mode=args.backfill,
+        failures=failures,
+    )
+    mechanisms: List[Mechanism] = (
+        [Mechanism.parse(m) for m in args.mechanisms]
+        if getattr(args, "mechanisms", None)
+        else list(ALL_MECHANISMS)
+    )
+    return ExperimentConfig(
+        spec=spec,
+        sim=sim,
+        mechanisms=mechanisms,
+        n_traces=args.traces,
+        base_seed=args.seed,
+        workers=args.workers,
+    )
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hybrid",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "compare",
+        ],
+        help="which exhibit to regenerate",
+    )
+    parser.add_argument("--days", type=float, default=28.0, help="trace horizon")
+    parser.add_argument("--nodes", type=int, default=4392, help="system size")
+    parser.add_argument("--load", type=float, default=0.82, help="offered load")
+    parser.add_argument("--traces", type=int, default=3, help="trace replicas")
+    parser.add_argument("--seed", type=int, default=2022, help="base seed")
+    parser.add_argument("--workers", type=int, default=1, help="processes")
+    parser.add_argument(
+        "--mix", choices=sorted(NOTICE_MIXES), default="W5", help="notice mix"
+    )
+    parser.add_argument(
+        "--mechanisms",
+        nargs="*",
+        default=None,
+        help='mechanism names, e.g. "CUA&SPAA" (default: all six)',
+    )
+    parser.add_argument(
+        "--multipliers",
+        nargs="*",
+        type=float,
+        default=[0.5, 1.0, 2.0],
+        help="fig7 checkpoint interval multipliers",
+    )
+    parser.add_argument(
+        "--backfill",
+        choices=["easy", "conservative"],
+        default="easy",
+        help="backfilling flavour (paper: easy)",
+    )
+    parser.add_argument(
+        "--noshow-frac",
+        type=float,
+        default=0.0,
+        help="fraction of noticed on-demand jobs that never arrive",
+    )
+    parser.add_argument(
+        "--failure-mtbf-days",
+        type=float,
+        default=0.0,
+        help="per-node MTBF in days for failure injection (0 = off)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    if args.exhibit == "table3":
+        print(figures.table3_mixes()["text"])
+        return 0
+    config = _build_config(args)
+    if args.exhibit == "table1":
+        out = figures.table1_workload(config)
+    elif args.exhibit == "table2":
+        out = figures.table2_baseline(config)
+    elif args.exhibit == "fig3":
+        out = figures.fig3_size_mix(config)
+    elif args.exhibit == "fig4":
+        out = figures.fig4_type_mix(config)
+    elif args.exhibit == "fig5":
+        out = figures.fig5_burstiness(config)
+    elif args.exhibit == "fig6":
+        out = figures.fig6_mechanisms(config)
+    elif args.exhibit == "fig7":
+        out = figures.fig7_checkpointing(config, multipliers=args.multipliers)
+    elif args.exhibit == "compare":
+        out = figures.headline_comparison(config)
+    else:  # pragma: no cover - argparse guards this
+        raise AssertionError(args.exhibit)
+    print(out["text"])
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Experiment-level configuration.
+
+One :class:`ExperimentConfig` describes a full evaluation campaign: the
+workload spec, the simulator knobs, which mechanisms to compare, how many
+random trace replicas to average ("we repeat the same experiment on ten
+randomly generated traces and the results ... are averaged"), and how to
+fan the runs out across processes.
+
+The paper runs one-year traces; the default here is a four-week horizon so
+the full Fig. 6 grid regenerates in minutes on a laptop — pass
+``days=365`` for the paper-scale run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.core.mechanisms import ALL_MECHANISMS, Mechanism
+from repro.sim.config import SimConfig
+from repro.util.errors import ConfigurationError
+from repro.workload.spec import WorkloadSpec, theta_spec
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A full campaign description."""
+
+    spec: WorkloadSpec = field(default_factory=lambda: theta_spec(days=28))
+    sim: SimConfig = field(default_factory=SimConfig)
+    mechanisms: List[Mechanism] = field(
+        default_factory=lambda: list(ALL_MECHANISMS)
+    )
+    #: number of random trace replicas averaged per cell
+    n_traces: int = 3
+    base_seed: int = 2022
+    #: worker processes for the grid (1 = serial, deterministic order)
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_traces <= 0:
+            raise ConfigurationError("n_traces must be positive")
+        if self.workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        if self.spec.system_size != self.sim.system_size:
+            raise ConfigurationError(
+                f"workload system_size ({self.spec.system_size}) != simulator "
+                f"system_size ({self.sim.system_size})"
+            )
+
+    def seeds(self) -> List[int]:
+        return [self.base_seed + i for i in range(self.n_traces)]
+
+    def with_spec(self, spec: WorkloadSpec) -> "ExperimentConfig":
+        return replace(self, spec=spec)
+
+    def with_sim(self, sim: SimConfig) -> "ExperimentConfig":
+        return replace(self, sim=sim)
+
+    @staticmethod
+    def quick(
+        days: float = 10.0,
+        n_traces: int = 2,
+        system_size: Optional[int] = None,
+        **spec_overrides,
+    ) -> "ExperimentConfig":
+        """A small campaign for tests and examples."""
+        if system_size is not None:
+            spec_overrides["system_size"] = system_size
+        spec = theta_spec(days=days, **spec_overrides)
+        sim = SimConfig(system_size=spec.system_size)
+        return ExperimentConfig(spec=spec, sim=sim, n_traces=n_traces)

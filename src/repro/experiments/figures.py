@@ -1,0 +1,240 @@
+"""Drivers that regenerate every table and figure of the paper.
+
+Each function returns a dict with structured results plus a ``text`` key
+holding the rendered exhibit (the same rows/series the paper reports).
+The benchmark harness (benchmarks/) calls these and prints the text; the
+EXPERIMENTS.md paper-vs-measured record is produced the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.mechanisms import ALL_MECHANISMS, Mechanism
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_mechanism_grid, run_workload_sweep
+from repro.metrics.report import format_summary_rows, format_table
+from repro.metrics.summary import SummaryMetrics
+from repro.workload.ondemand import burstiness_cv, ondemand_jobs_per_week
+from repro.workload.spec import NOTICE_MIXES, NoticeMix, W1, W2, W3, W4, W5
+from repro.workload.theta import generate_trace
+from repro.workload.trace import (
+    characterize_sizes,
+    table1_summary,
+    type_shares,
+)
+
+FIG6_MIXES: List[NoticeMix] = [W1, W2, W3, W4, W5]
+
+
+# ----------------------------------------------------------------------
+# Table I — workload summary
+# ----------------------------------------------------------------------
+def table1_workload(config: ExperimentConfig) -> Dict[str, object]:
+    """Table I: basic statistics of one generated trace."""
+    jobs = generate_trace(config.spec, seed=config.base_seed)
+    summary = table1_summary(jobs, config.spec.system_size)
+    rows = [[k, v] for k, v in summary.items()]
+    text = format_table(
+        ["field", "value"], rows, title="Table I — synthetic Theta workload"
+    )
+    return {"summary": summary, "jobs": jobs, "text": text}
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — job count and core-hours by size range
+# ----------------------------------------------------------------------
+def fig3_size_mix(config: ExperimentConfig) -> Dict[str, object]:
+    """Fig. 3: jobs (outer ring) and core-hours (inner ring) per size bucket."""
+    jobs = generate_trace(config.spec, seed=config.base_seed)
+    buckets = characterize_sizes(jobs, edges=config.spec.size_bucket_edges)
+    total_jobs = sum(b[1] for b in buckets) or 1
+    total_ch = sum(b[2] for b in buckets) or 1.0
+    rows = [
+        [label, count, count / total_jobs, ch, ch / total_ch]
+        for label, count, ch in buckets
+    ]
+    text = format_table(
+        ["size range", "jobs", "job share", "core-hours", "ch share"],
+        rows,
+        title="Fig. 3 — job size mix",
+    )
+    return {"buckets": buckets, "text": text}
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — job-type distribution across traces
+# ----------------------------------------------------------------------
+def fig4_type_mix(config: ExperimentConfig) -> Dict[str, object]:
+    """Fig. 4: per-trace shares of rigid / on-demand / malleable jobs."""
+    shares = []
+    for seed in config.seeds():
+        jobs = generate_trace(config.spec, seed=seed)
+        shares.append(type_shares(jobs))
+    rows = [
+        [f"trace-{i}", s["rigid"], s["ondemand"], s["malleable"]]
+        for i, s in enumerate(shares)
+    ]
+    text = format_table(
+        ["trace", "rigid", "ondemand", "malleable"],
+        rows,
+        title="Fig. 4 — job-type distribution per trace",
+    )
+    return {"shares": shares, "text": text}
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — weekly on-demand submissions (burstiness)
+# ----------------------------------------------------------------------
+def fig5_burstiness(config: ExperimentConfig) -> Dict[str, object]:
+    """Fig. 5: on-demand jobs per week for sample traces."""
+    series = {}
+    for seed in config.seeds()[:3]:
+        jobs = generate_trace(config.spec, seed=seed)
+        counts = ondemand_jobs_per_week(jobs, config.spec.horizon_s)
+        series[seed] = counts
+    rows = []
+    for seed, counts in series.items():
+        rows.append(
+            [
+                f"seed-{seed}",
+                len(counts),
+                sum(counts),
+                burstiness_cv(counts),
+                " ".join(str(c) for c in counts[:12])
+                + (" ..." if len(counts) > 12 else ""),
+            ]
+        )
+    text = format_table(
+        ["trace", "weeks", "total od", "cv", "weekly counts"],
+        rows,
+        title="Fig. 5 — weekly on-demand submissions",
+    )
+    return {"series": series, "text": text}
+
+
+# ----------------------------------------------------------------------
+# Table II — baseline performance
+# ----------------------------------------------------------------------
+def table2_baseline(config: ExperimentConfig) -> Dict[str, object]:
+    """Table II: FCFS/EASY with no special treatment of any class."""
+    baseline_sim = replace(config.sim, flexible_malleable=False)
+    grid = run_mechanism_grid(
+        config.spec,
+        [None],
+        config.seeds(),
+        sim=baseline_sim,
+        workers=config.workers,
+    )
+    s = grid[None]
+    rows = [
+        ["Avg. Turnaround", f"{s.avg_turnaround_h:.1f} hours"],
+        ["System Util.", f"{100 * s.system_utilization:.2f}%"],
+        ["On-demand Instant Start Rate", f"{100 * s.instant_start_rate:.2f}%"],
+    ]
+    text = format_table(
+        ["metric", "value"], rows, title="Table II — baseline (FCFS/EASY)"
+    )
+    return {"summary": s, "text": text}
+
+
+# ----------------------------------------------------------------------
+# Table III — the notice-accuracy mixes (configuration table)
+# ----------------------------------------------------------------------
+def table3_mixes() -> Dict[str, object]:
+    """Table III: W1–W5 on-demand notice distributions."""
+    rows = [
+        [m.name, m.none, m.accurate, m.early, m.late]
+        for m in NOTICE_MIXES.values()
+    ]
+    text = format_table(
+        ["workload", "no notice", "accurate", "early", "late"],
+        rows,
+        title="Table III — on-demand notice mixes",
+    )
+    return {"mixes": dict(NOTICE_MIXES), "text": text}
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — the headline grid: mechanisms x mixes
+# ----------------------------------------------------------------------
+def fig6_mechanisms(
+    config: ExperimentConfig,
+    mixes: Optional[Sequence[NoticeMix]] = None,
+) -> Dict[str, object]:
+    """Fig. 6: all six mechanisms under the five Table III mixes."""
+    mixes = list(mixes) if mixes is not None else FIG6_MIXES
+    sweep = run_workload_sweep(
+        config.spec,
+        mixes,
+        config.mechanisms,
+        config.seeds(),
+        sim=config.sim,
+        workers=config.workers,
+    )
+    parts = [table3_mixes()["text"], ""]
+    for mix in mixes:
+        parts.append(
+            format_summary_rows(
+                list(sweep[mix.name].values()),
+                title=f"Fig. 6 — workload {mix.name}",
+            )
+        )
+        parts.append("")
+    return {"sweep": sweep, "text": "\n".join(parts)}
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — checkpoint-frequency sensitivity
+# ----------------------------------------------------------------------
+def fig7_checkpointing(
+    config: ExperimentConfig,
+    multipliers: Sequence[float] = (0.5, 1.0, 2.0),
+) -> Dict[str, object]:
+    """Fig. 7: the Fig. 6 metrics as the checkpoint interval is scaled.
+
+    ``0.5`` = twice as frequent as Daly's optimum (the paper's "50 %").
+    """
+    results: Dict[float, Dict[Optional[str], SummaryMetrics]] = {}
+    parts = []
+    for mult in multipliers:
+        sim = replace(
+            config.sim, checkpoint=config.sim.checkpoint.with_multiplier(mult)
+        )
+        grid = run_mechanism_grid(
+            config.spec,
+            config.mechanisms,
+            config.seeds(),
+            sim=sim,
+            workers=config.workers,
+        )
+        results[mult] = grid
+        parts.append(
+            format_summary_rows(
+                list(grid.values()),
+                title=f"Fig. 7 — checkpoint interval x{mult:g} "
+                f"({100 / mult:.0f}% frequency)",
+            )
+        )
+        parts.append("")
+    return {"results": results, "text": "\n".join(parts)}
+
+
+# ----------------------------------------------------------------------
+# Convenience: the full headline comparison at the default mix
+# ----------------------------------------------------------------------
+def headline_comparison(config: ExperimentConfig) -> Dict[str, object]:
+    """Baseline + all six mechanisms at the spec's default mix (W5)."""
+    mechanisms: List[Optional[Mechanism]] = [None, *ALL_MECHANISMS]
+    grid = run_mechanism_grid(
+        config.spec,
+        mechanisms,
+        config.seeds(),
+        sim=config.sim,
+        workers=config.workers,
+    )
+    text = format_summary_rows(
+        list(grid.values()), title="Baseline vs. the six mechanisms"
+    )
+    return {"grid": grid, "text": text}

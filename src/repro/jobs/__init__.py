@@ -1,0 +1,32 @@
+"""Job models: types, state machine, and execution timelines.
+
+This subpackage implements §III-A of the paper:
+
+* :class:`~repro.jobs.job.Job` — the static description of a job (what a
+  user submits) plus mutable scheduling bookkeeping.
+* :class:`~repro.jobs.checkpoint.CheckpointModel` — per-checkpoint cost
+  (600 s / 1200 s by size) and Daly's optimal interval.
+* :class:`~repro.jobs.rigid_exec.RigidTimeline` /
+  :class:`~repro.jobs.rigid_exec.RigidExecution` — the piecewise
+  setup→compute→checkpoint wall-clock timeline of a rigid job, with
+  preemption rollback to the last completed checkpoint.
+* :class:`~repro.jobs.malleable_exec.MalleableExecution` — the
+  linear-speedup work model (``t = t_single / n + t_setup``) with free
+  shrink/expand and loss-free preemption.
+"""
+
+from repro.jobs.checkpoint import CheckpointModel
+from repro.jobs.job import Job, JobState, JobType, NoticeClass
+from repro.jobs.malleable_exec import MalleableExecution
+from repro.jobs.rigid_exec import RigidExecution, RigidTimeline
+
+__all__ = [
+    "CheckpointModel",
+    "Job",
+    "JobState",
+    "JobType",
+    "NoticeClass",
+    "MalleableExecution",
+    "RigidExecution",
+    "RigidTimeline",
+]

@@ -1,0 +1,120 @@
+"""Checkpoint cost and interval model (§IV-B of the paper).
+
+Rigid jobs take regular checkpoints at the optimal frequency defined by
+Daly [27].  The paper sets the per-checkpoint overhead to 600 s for jobs
+using fewer than 1 K nodes and 1200 s otherwise.
+
+Daly's first-order optimum for the checkpoint interval is
+
+    tau_opt = sqrt(2 * C * M) - C
+
+where ``C`` is the checkpoint cost and ``M`` the mean time between failures
+seen by the job.  Jobs spanning more nodes fail more often, so we model
+``M = node_mtbf / n`` (the standard series-system assumption).
+
+Figure 7 of the paper sweeps a *frequency multiplier*: "50 % means rigid
+jobs make checkpoints twice as frequent as the optimal checkpointing
+frequency", i.e. the interval is scaled by the multiplier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+from repro.util.timeconst import DAY
+
+#: Default per-node mean time between failures (5 years), a mid-range value
+#: for leadership-class machines; configurable per experiment.
+DEFAULT_NODE_MTBF_S: float = 5.0 * 365.0 * DAY
+
+#: Paper's per-checkpoint overheads (§IV-B).
+SMALL_JOB_CHECKPOINT_COST_S: float = 600.0
+LARGE_JOB_CHECKPOINT_COST_S: float = 1200.0
+LARGE_JOB_THRESHOLD_NODES: int = 1000
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Produces checkpoint cost and interval for a job of a given size.
+
+    Parameters
+    ----------
+    node_mtbf_s:
+        Mean time between failures of a single node, in seconds.
+    interval_multiplier:
+        Scales Daly's optimal interval (Fig. 7 sweep).  ``0.5`` means
+        checkpoints twice as frequent as optimal; ``2.0`` half as frequent.
+    min_interval_s:
+        Lower clamp on the interval so pathological parameters cannot
+        produce a checkpoint storm.
+    enabled:
+        When ``False`` jobs never checkpoint (interval = +inf); used by the
+        baseline-without-mechanisms configuration and by on-demand jobs.
+    """
+
+    node_mtbf_s: float = DEFAULT_NODE_MTBF_S
+    interval_multiplier: float = 1.0
+    min_interval_s: float = 60.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_s <= 0:
+            raise ConfigurationError("node_mtbf_s must be positive")
+        if self.interval_multiplier <= 0:
+            raise ConfigurationError("interval_multiplier must be positive")
+        if self.min_interval_s <= 0:
+            raise ConfigurationError("min_interval_s must be positive")
+
+    def cost(self, nodes: int) -> float:
+        """Per-checkpoint overhead in seconds for a job on *nodes* nodes."""
+        if nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if nodes < LARGE_JOB_THRESHOLD_NODES:
+            return SMALL_JOB_CHECKPOINT_COST_S
+        return LARGE_JOB_CHECKPOINT_COST_S
+
+    def job_mtbf(self, nodes: int) -> float:
+        """MTBF experienced by a job spanning *nodes* nodes."""
+        if nodes <= 0:
+            raise ValueError("nodes must be positive")
+        return self.node_mtbf_s / nodes
+
+    def daly_interval(self, cost: float, mtbf: float) -> float:
+        """Daly's first-order optimal interval ``sqrt(2*C*M) - C``.
+
+        Clamped below at ``min_interval_s``; the first-order formula is
+        only valid for ``C < 2M`` but the clamp keeps the result sane for
+        any inputs.
+        """
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        if mtbf <= 0:
+            raise ValueError("mtbf must be positive")
+        tau = math.sqrt(2.0 * cost * mtbf) - cost
+        return max(tau, self.min_interval_s)
+
+    def interval(self, nodes: int) -> float:
+        """Checkpoint interval (compute-seconds between checkpoints).
+
+        Returns ``math.inf`` when checkpointing is disabled.
+        """
+        if not self.enabled:
+            return math.inf
+        base = self.daly_interval(self.cost(nodes), self.job_mtbf(nodes))
+        return max(base * self.interval_multiplier, self.min_interval_s)
+
+    def with_multiplier(self, multiplier: float) -> "CheckpointModel":
+        """Copy of this model with a different frequency multiplier."""
+        return CheckpointModel(
+            node_mtbf_s=self.node_mtbf_s,
+            interval_multiplier=multiplier,
+            min_interval_s=self.min_interval_s,
+            enabled=self.enabled,
+        )
+
+    @staticmethod
+    def disabled() -> "CheckpointModel":
+        """A model under which jobs never checkpoint."""
+        return CheckpointModel(enabled=False)

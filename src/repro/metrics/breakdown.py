@@ -1,0 +1,139 @@
+"""Fine-grained metric breakdowns beyond the paper's headline numbers.
+
+* per-notice-class on-demand outcomes (how do ACCURATE vs LATE arrivals
+  fare under each mechanism — the machinery behind Observations 11/12);
+* per-type waste decomposition;
+* an hourly utilization series (text sparkline) for eyeballing drain
+  behaviour around on-demand bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.jobs.job import Job, JobType, NoticeClass
+from repro.sim.simulator import SimulationResult
+from repro.util.timeconst import HOUR
+
+#: sparkline glyphs from empty to full
+_SPARK = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class NoticeClassOutcome:
+    """On-demand outcomes for one Fig. 1 arrival category."""
+
+    notice_class: str
+    count: int
+    instant_rate: float
+    avg_delay_s: float
+    avg_turnaround_h: float
+
+
+def ondemand_by_notice_class(
+    result: SimulationResult, instant_threshold_s: float = 60.0
+) -> List[NoticeClassOutcome]:
+    """Split the on-demand metrics by notice class (arrived jobs only)."""
+    groups: Dict[NoticeClass, List[Job]] = {c: [] for c in NoticeClass}
+    for j in result.jobs:
+        if j.is_ondemand and not j.no_show:
+            groups[j.notice_class].append(j)
+    out: List[NoticeClassOutcome] = []
+    for cls, jobs in groups.items():
+        started = [j for j in jobs if j.stats.first_start is not None]
+        instant = [
+            j for j in started if j.start_delay <= instant_threshold_s + 1e-9
+        ]
+        out.append(
+            NoticeClassOutcome(
+                notice_class=cls.value,
+                count=len(jobs),
+                instant_rate=(len(instant) / len(jobs)) if jobs else 0.0,
+                avg_delay_s=(
+                    sum(j.start_delay for j in started) / len(started)
+                    if started
+                    else 0.0
+                ),
+                avg_turnaround_h=(
+                    sum(j.turnaround for j in jobs) / len(jobs) / HOUR
+                    if jobs
+                    else 0.0
+                ),
+            )
+        )
+    return out
+
+
+def waste_by_type(result: SimulationResult) -> Dict[str, Dict[str, float]]:
+    """Node-hour waste decomposition per job type."""
+    out: Dict[str, Dict[str, float]] = {}
+    for jtype in JobType:
+        jobs = [
+            j for j in result.jobs if j.job_type is jtype and not j.no_show
+        ]
+        out[jtype.value] = {
+            "lost_compute_node_h": sum(
+                j.stats.lost_node_seconds for j in jobs
+            )
+            / HOUR,
+            "wasted_setup_node_h": sum(
+                j.stats.wasted_setup_node_seconds for j in jobs
+            )
+            / HOUR,
+            "checkpoint_node_h": sum(
+                j.stats.checkpoint_node_seconds for j in jobs
+            )
+            / HOUR,
+            "preemptions": float(sum(j.stats.preemptions for j in jobs)),
+        }
+    return out
+
+
+def utilization_series(
+    result: SimulationResult, bin_s: float = HOUR
+) -> List[float]:
+    """Fraction of the machine allocated, per time bin.
+
+    Rebuilt from the exact per-segment records the simulator keeps
+    (preemption gaps contribute nothing); node counts within a segment
+    are the segment's mean, so a resize mid-segment is averaged.
+    """
+    horizon = result.last_end
+    if horizon <= 0:
+        return []
+    n_bins = max(1, int(horizon // bin_s) + 1)
+    used = [0.0] * n_bins
+    for j in result.jobs:
+        for start, end, nodes in j.stats.segment_records:
+            b0 = int(start // bin_s)
+            b1 = min(n_bins - 1, int(end // bin_s))
+            for b in range(b0, b1 + 1):
+                lo = max(start, b * bin_s)
+                hi = min(end, (b + 1) * bin_s)
+                used[b] += nodes * max(0.0, hi - lo)
+    cap = result.system_size * bin_s
+    return [min(1.0, u / cap) for u in used]
+
+
+def utilization_sparkline(
+    result: SimulationResult, bin_s: float = HOUR, width: Optional[int] = None
+) -> str:
+    """A text sparkline of machine usage over time.
+
+    >>> # '@' = full machine, ' ' = idle
+    """
+    series = utilization_series(result, bin_s=bin_s)
+    if width is not None and len(series) > width > 0:
+        # downsample by averaging fixed-size chunks
+        chunk = len(series) / width
+        series = [
+            sum(series[int(i * chunk) : max(int((i + 1) * chunk), int(i * chunk) + 1)])
+            / max(1, len(series[int(i * chunk) : max(int((i + 1) * chunk), int(i * chunk) + 1)]))
+            for i in range(width)
+        ]
+    glyphs = []
+    for u in series:
+        idx = min(len(_SPARK) - 1, int(u * (len(_SPARK) - 1) + 0.5))
+        glyphs.append(_SPARK[idx])
+    return "".join(glyphs)

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts regenerate the paper's tables and figures as
+aligned text (numpy-style, no plotting dependency): one call per
+table/figure, printing the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.metrics.summary import SummaryMetrics
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "  "
+    lines.append(sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in cells:
+        lines.append(sep.join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+#: column order of the standard mechanism-comparison table (Fig. 6 panels)
+SUMMARY_COLUMNS: Dict[str, str] = {
+    "mechanism": "mechanism",
+    "avg_turnaround_h": "turnaround[h]",
+    "avg_turnaround_rigid_h": "rigid[h]",
+    "avg_turnaround_malleable_h": "malleable[h]",
+    "system_utilization": "util",
+    "instant_start_rate": "instant",
+    "preemption_ratio_rigid": "preempt(R)",
+    "preemption_ratio_malleable": "preempt(M)",
+}
+
+
+def format_summary_rows(
+    summaries: Sequence[SummaryMetrics], title: str | None = None
+) -> str:
+    """The standard comparison table used by most benchmarks."""
+    headers = list(SUMMARY_COLUMNS.values())
+    rows = []
+    for s in summaries:
+        d = s.as_dict()
+        rows.append(
+            [d[key] if d[key] is not None else "baseline" for key in SUMMARY_COLUMNS]
+        )
+    return format_table(headers, rows, title=title)

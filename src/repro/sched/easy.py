@@ -1,0 +1,274 @@
+"""EASY backfilling with reservation-aware loans (§II-B, §III-B.1).
+
+Classic EASY: jobs start in policy order while they fit; when the queue
+head does not fit, it receives a *shadow* reservation at the earliest time
+enough nodes will be free (based on running jobs' predicted ends), and
+later jobs may jump ahead iff they do not delay that reservation — either
+they finish before the shadow time or they only use nodes the head will
+not need ("extra" nodes).
+
+Two paper-specific twists:
+
+* **Reserved-node loans.**  Nodes held idle for an on-demand job may be
+  used by *backfilled* jobs (never by head-of-queue starts); the borrower
+  is preempted the instant the on-demand job arrives.  Loaned nodes are
+  invisible to the shadow computation (they are pledged to the on-demand
+  job, modelled as a pseudo-running block), so borrowing never delays the
+  head — only the borrower's draw on the genuinely-free pool is checked
+  against the extra-node budget.
+* **Malleable sizing.**  A malleable job can start anywhere in
+  ``[min_size, max_size]`` with linear speedup, so the planner picks the
+  largest feasible size; when a head-fit fails it retries a smaller size
+  that fits the backfill window or the extra-node budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.jobs.job import Job
+
+EPS = 1e-6
+
+#: Callable giving the predicted wall-clock duration (setup + estimated
+#: remaining compute + checkpoint overheads) of *job* started now on
+#: *nodes* nodes.  Provided by the simulator, which knows execution state.
+WallPredictor = Callable[[Job, int], float]
+
+
+@dataclass
+class StartDecision:
+    """One job start chosen by the planner.
+
+    ``free_used + sum(loans.values()) == nodes``; ``loans`` maps
+    reservation id -> nodes borrowed from that reservation's idle holding.
+    """
+
+    job: Job
+    nodes: int
+    free_used: int
+    loans: Dict[int, int] = field(default_factory=dict)
+    backfilled: bool = False
+
+
+@dataclass(frozen=True)
+class ShadowInfo:
+    """The head job's EASY reservation: when it can start, and the slack."""
+
+    time: float
+    extra_nodes: int
+
+
+class BackfillPlanner:
+    """Plans job starts for one scheduling instance.
+
+    Parameters
+    ----------
+    backfill_enabled:
+        ``False`` degrades to plain FCFS (used by ablations).
+    backfill_depth:
+        Scan at most this many queued jobs behind the head (None = all).
+    allow_loans:
+        Whether backfilled jobs may borrow reserved-idle nodes.
+    """
+
+    def __init__(
+        self,
+        backfill_enabled: bool = True,
+        backfill_depth: Optional[int] = None,
+        allow_loans: bool = True,
+        flexible_malleable: bool = True,
+    ) -> None:
+        self.backfill_enabled = backfill_enabled
+        self.backfill_depth = backfill_depth
+        self.allow_loans = allow_loans
+        self.flexible_malleable = flexible_malleable
+
+    def _min_size(self, job: Job) -> int:
+        """Smallest start size (baseline pins malleable jobs at full size)."""
+        return job.smallest_size if self.flexible_malleable else job.size
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        now: float,
+        ordered_queue: Sequence[Job],
+        free: int,
+        loanable: Sequence[Tuple[int, int]],
+        running_blocks: Sequence[Tuple[float, int]],
+        predict_wall: WallPredictor,
+    ) -> List[StartDecision]:
+        """Choose the set of jobs to start at this instant.
+
+        Parameters
+        ----------
+        free:
+            Genuinely free nodes (cluster free minus all reserved holdings).
+        loanable:
+            ``(reservation_id, held_nodes)`` for active not-yet-arrived
+            reservations, in loan-priority order.
+        running_blocks:
+            ``(predicted_release_time, nodes)`` for every running job *and*
+            a pseudo-block per reservation (released when the on-demand job
+            is predicted to finish).  Only used for the shadow computation.
+        """
+        decisions: List[StartDecision] = []
+        queue = list(ordered_queue)
+        loan_pool: List[List[int]] = [[rid, held] for rid, held in loanable]
+
+        # Phase 1 — start jobs in order while they fit in the free pool.
+        head_idx = 0
+        while head_idx < len(queue):
+            job = queue[head_idx]
+            if self._min_size(job) > free:
+                break
+            nodes = min(job.max_size, free)
+            decisions.append(
+                StartDecision(job=job, nodes=nodes, free_used=nodes)
+            )
+            free -= nodes
+            head_idx += 1
+
+        if head_idx >= len(queue) or not self.backfill_enabled:
+            return decisions
+
+        # Phase 2 — shadow reservation for the blocked head.
+        head = queue[head_idx]
+        shadow = self._shadow(now, self._min_size(head), free, running_blocks)
+
+        # Phase 3 — backfill the remaining queue.
+        extra = shadow.extra_nodes
+        candidates = queue[head_idx + 1 :]
+        if self.backfill_depth is not None:
+            candidates = candidates[: self.backfill_depth]
+        for job in candidates:
+            if free <= 0 and not self._loans_available(loan_pool):
+                break
+            pick = self._fit_backfill(
+                now, job, free, loan_pool, shadow.time, extra, predict_wall
+            )
+            if pick is None:
+                continue
+            nodes, free_used, loans, used_extra = pick
+            decisions.append(
+                StartDecision(
+                    job=job,
+                    nodes=nodes,
+                    free_used=free_used,
+                    loans=loans,
+                    backfilled=True,
+                )
+            )
+            free -= free_used
+            if used_extra:
+                extra -= free_used
+            for rid, k in loans.items():
+                for entry in loan_pool:
+                    if entry[0] == rid:
+                        entry[1] -= k
+        return decisions
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shadow(
+        now: float,
+        head_need: int,
+        free: int,
+        running_blocks: Sequence[Tuple[float, int]],
+    ) -> ShadowInfo:
+        """Earliest time *head_need* nodes are free, plus the slack then.
+
+        Walks the predicted releases in time order accumulating freed
+        nodes until the head fits.  If even all releases cannot satisfy the
+        head (only possible when reservations pseudo-block nodes forever),
+        the shadow is infinite and every backfill qualifies via the
+        extra-node branch only.
+        """
+        if head_need <= free:
+            return ShadowInfo(time=now, extra_nodes=free - head_need)
+        avail = free
+        for release, nodes in sorted(running_blocks):
+            avail += nodes
+            if avail >= head_need:
+                return ShadowInfo(time=max(release, now), extra_nodes=avail - head_need)
+        return ShadowInfo(time=math.inf, extra_nodes=avail - head_need)
+
+    @staticmethod
+    def _loans_available(loan_pool: Sequence[Sequence[int]]) -> bool:
+        return any(held > 0 for _, held in loan_pool)
+
+    def _fit_backfill(
+        self,
+        now: float,
+        job: Job,
+        free: int,
+        loan_pool: List[List[int]],
+        shadow_time: float,
+        extra: int,
+        predict_wall: WallPredictor,
+    ) -> Optional[Tuple[int, int, Dict[int, int], bool]]:
+        """Try to fit *job* as a backfill; returns (nodes, free_used, loans,
+        counted_against_extra) or None.
+
+        A fit is legal iff it cannot delay the head's shadow reservation:
+        either the job's predicted end is before the shadow time, or the
+        nodes it takes from the *free* pool fit in the extra budget
+        (loaned reserved nodes never delay the head).
+
+        On-demand jobs never borrow reserved nodes: a borrower is preempted
+        when the owning on-demand job arrives, and on-demand jobs must never
+        be preempted (§III-A).
+        """
+        may_loan = self.allow_loans and not job.is_ondemand
+        loan_total = sum(h for _, h in loan_pool) if may_loan else 0
+        avail = free + loan_total
+        min_size = self._min_size(job)
+        if min_size > avail:
+            return None
+
+        def split(nodes: int) -> Tuple[int, Dict[int, int]]:
+            free_used = min(nodes, free)
+            need = nodes - free_used
+            loans: Dict[int, int] = {}
+            for entry in loan_pool:
+                if need <= 0:
+                    break
+                rid, held = entry
+                take = min(held, need)
+                if take > 0:
+                    loans[rid] = take
+                    need -= take
+            return free_used, loans
+
+        # Attempt 1: largest possible size; qualifies if it ends in time.
+        nodes = min(job.max_size, avail)
+        free_used, loans = split(nodes)
+        end = now + predict_wall(job, nodes)
+        if end <= shadow_time + EPS:
+            return nodes, free_used, loans, False
+
+        # Attempt 2: qualify via the extra-node budget (no time limit) —
+        # the free draw must fit in `extra`; prefer the largest such size.
+        budget = min(free, max(extra, 0)) + loan_total
+        if budget >= min_size:
+            nodes = min(job.max_size, budget)
+            free_used = min(nodes, min(free, max(extra, 0)))
+            need = nodes - free_used
+            loans = {}
+            for entry in loan_pool:
+                if need <= 0:
+                    break
+                rid, held = entry
+                take = min(held, need)
+                if take > 0:
+                    loans[rid] = take
+                    need -= take
+            if need == 0:
+                return nodes, free_used, loans, True
+
+        # Attempt 3 (rigid only): a smaller malleable size could still fit
+        # the time window; for malleable jobs smaller = slower, so there is
+        # nothing further to try.
+        return None

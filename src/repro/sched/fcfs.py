@@ -1,0 +1,43 @@
+"""Concrete queue-ordering policies.
+
+FCFS is the paper's default (§IV-B).  Preempted jobs are resubmitted with
+their *original* submit time, so under FCFS they naturally return near the
+front of the queue — exactly the behaviour §III-B.2 describes.
+
+SJF and LJF are not evaluated in the paper; they exist for the ablation
+benchmarks that show the mechanisms compose with any ordering policy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.jobs.job import Job
+from repro.sched.policy import SchedulingPolicy
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """First-come-first-serve: ascending original submission time."""
+
+    name = "fcfs"
+
+    def key(self, job: Job, now: float) -> Tuple:
+        return (job.submit_time,)
+
+
+class SjfPolicy(SchedulingPolicy):
+    """Shortest-job-first by the user's runtime estimate."""
+
+    name = "sjf"
+
+    def key(self, job: Job, now: float) -> Tuple:
+        return (job.estimate, job.submit_time)
+
+
+class LjfPolicy(SchedulingPolicy):
+    """Largest-job-first by node request (drains wide jobs early)."""
+
+    name = "ljf"
+
+    def key(self, job: Job, now: float) -> Tuple:
+        return (-job.size, job.submit_time)

@@ -1,0 +1,51 @@
+"""Queue-ordering policy interface.
+
+A policy only decides the *order* of the wait queue at each scheduling
+instance; starting jobs (including EASY backfilling) and manipulating
+running jobs (the paper's mechanisms) happen elsewhere.
+
+On-demand jobs that failed to start instantly are placed "at the front of
+the queue" (§III-B.2); every policy therefore sorts by a two-level key
+``(not is_ondemand_retry, policy_key)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+from repro.jobs.job import Job
+
+
+class SchedulingPolicy(abc.ABC):
+    """Orders the wait queue at each scheduling instance."""
+
+    #: short identifier used in reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def key(self, job: Job, now: float) -> Tuple:
+        """Sort key for *job* (ascending).  Lower sorts earlier."""
+
+    def order(
+        self,
+        queue: Sequence[Job],
+        now: float,
+        prioritize_ondemand: bool = True,
+    ) -> List[Job]:
+        """Return the queue sorted: on-demand retries first, then policy key.
+
+        ``prioritize_ondemand=False`` (the baseline configuration) drops
+        the front-of-queue boost so on-demand jobs sort like any other.
+        The job id is always the final tiebreaker so ordering is total and
+        deterministic.
+        """
+        if prioritize_ondemand:
+            return sorted(
+                queue,
+                key=lambda j: (not j.is_ondemand, *self.key(j, now), j.job_id),
+            )
+        return sorted(queue, key=lambda j: (*self.key(j, now), j.job_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,74 @@
+"""The event heap / simulation clock."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional
+
+from repro.sim.events import Event, EventType
+from repro.util.errors import SimulationError
+
+
+class EventQueue:
+    """A time-ordered event queue with deterministic tie-breaking.
+
+    Stale-event handling is the caller's job (events carry payloads such as
+    job epochs that handlers validate); the queue itself never cancels.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, etype: EventType, **payload: Any) -> Event:
+        """Schedule an event; *time* must not precede the current clock."""
+        if time < self._now - 1e-6:
+            raise SimulationError(
+                f"cannot schedule {etype.name} at {time} before now={self._now}"
+            )
+        ev = Event(time=float(time), type=etype, seq=self._seq, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("pop() on an empty event queue")
+        ev = heapq.heappop(self._heap)
+        self._now = ev.time
+        return ev
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or None if empty."""
+        return self._heap[0] if self._heap else None
+
+    def pop_batch(self) -> List[Event]:
+        """Pop every event sharing the earliest timestamp, in priority order.
+
+        The scheduler runs once per batch, after all state changes at that
+        instant have been applied.
+        """
+        if not self._heap:
+            return []
+        t = self._heap[0].time
+        batch: List[Event] = []
+        while self._heap and abs(self._heap[0].time - t) <= 1e-9:
+            batch.append(self.pop())
+        return batch
+
+    def counts_by_type(self) -> Dict[str, int]:
+        """Pending event counts per type (debugging aid)."""
+        out: Dict[str, int] = {}
+        for ev in self._heap:
+            out[ev.type.name] = out.get(ev.type.name, 0) + 1
+        return out

@@ -1,0 +1,97 @@
+"""Structured scheduler decision log (opt-in).
+
+Production schedulers keep an auditable event log; so does this
+simulator when ``SimConfig(log_decisions=True)``.  Every lifecycle
+decision — start, finish, preemption (with reason), shrink, expand,
+reservation create/release, lease settlement — is appended as a
+:class:`LogEntry`.  The log is the raw material for the Gantt-style
+analyses in `repro.metrics.breakdown` and for debugging mechanism
+behaviour on a specific trace ("why was job 17 preempted at 09:12?").
+
+The log costs one dataclass append per decision; it is off by default so
+large campaign grids pay nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.util.timeconst import format_duration
+
+
+class LogKind(enum.Enum):
+    SUBMIT = "submit"
+    NOTICE = "notice"
+    START = "start"
+    FINISH = "finish"
+    PREEMPT = "preempt"
+    FAILURE = "failure"
+    SHRINK = "shrink"
+    EXPAND = "expand"
+    RESERVE = "reserve"
+    RESERVATION_RELEASED = "reservation_released"
+    LEASE_RETURN = "lease_return"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One scheduler decision."""
+
+    time: float
+    kind: LogKind
+    job_id: int
+    nodes: int = 0
+    detail: str = ""
+
+    def render(self) -> str:
+        extra = f" {self.detail}" if self.detail else ""
+        nodes = f" n={self.nodes}" if self.nodes else ""
+        return (
+            f"[{format_duration(self.time):>8}] "
+            f"{self.kind.value:<20} job={self.job_id}{nodes}{extra}"
+        )
+
+
+class SchedulerLog:
+    """Append-only decision log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.entries: List[LogEntry] = []
+
+    def add(
+        self,
+        time: float,
+        kind: LogKind,
+        job_id: int,
+        nodes: int = 0,
+        detail: str = "",
+    ) -> None:
+        if not self.enabled:
+            return
+        self.entries.append(
+            LogEntry(time=time, kind=kind, job_id=job_id, nodes=nodes, detail=detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def for_job(self, job_id: int) -> List[LogEntry]:
+        """Full decision history of one job, in time order."""
+        return [e for e in self.entries if e.job_id == job_id]
+
+    def of_kind(self, kind: LogKind) -> List[LogEntry]:
+        return [e for e in self.entries if e.kind is kind]
+
+    def between(self, start: float, end: float) -> Iterator[LogEntry]:
+        return (e for e in self.entries if start <= e.time <= end)
+
+    def render(self, job_id: Optional[int] = None, limit: int = 200) -> str:
+        """Human-readable transcript (optionally one job's)."""
+        entries = self.for_job(job_id) if job_id is not None else self.entries
+        lines = [e.render() for e in entries[:limit]]
+        if len(entries) > limit:
+            lines.append(f"... ({len(entries) - limit} more entries)")
+        return "\n".join(lines)

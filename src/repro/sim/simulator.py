@@ -1,0 +1,664 @@
+"""The trace-driven, event-driven scheduling simulator (CQSim analogue).
+
+"A real system takes jobs from user submission, while CQSim takes jobs by
+reading the job arrival information in the trace.  Rather than executing
+jobs on system, CQSim simulates the execution by advancing the simulation
+clock according to the job runtime information in the trace."
+
+One :class:`Simulation` object runs one trace under one (mechanism,
+policy) pair.  The event loop pops same-timestamp batches (finishes before
+planned preemptions before notices before submissions before timeouts) and
+runs one scheduling pass after each batch.  All mutation of running jobs —
+start, preemption, shrink, expansion — funnels through the methods of this
+class so node accounting and per-job statistics stay consistent; the
+:class:`~repro.core.coordinator.HybridCoordinator` drives those methods
+through the ``SimulatorOps`` surface.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.coordinator import HybridCoordinator
+from repro.core.mechanisms import Mechanism
+from repro.jobs.job import Job, JobState, JobType, NoticeClass
+from repro.jobs.malleable_exec import MalleableExecution
+from repro.jobs.rigid_exec import RigidExecution, RigidTimeline
+from repro.sched.conservative import ConservativeBackfillPlanner
+from repro.sched.easy import BackfillPlanner
+from repro.sched.fcfs import FcfsPolicy
+from repro.sched.policy import SchedulingPolicy
+from repro.sim.cluster import Cluster
+from repro.sim.config import SimConfig
+from repro.sim.engine import EventQueue
+from repro.sim.events import EventType
+from repro.sim.schedlog import LogKind, SchedulerLog
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.rng import RngStreams
+
+Execution = Union[RigidExecution, MalleableExecution]
+
+EPS = 1e-6
+
+
+@dataclass
+class RunningJob:
+    """A running job's simulator-side record (also the coordinator's view)."""
+
+    job: Job
+    execution: Execution
+    nodes: int
+    epoch: int
+    started_at: float
+
+    def predicted_finish(self) -> float:
+        return self.execution.predicted_finish()
+
+    def preemption_loss(self, t: float) -> float:
+        return self.execution.preemption_loss(t)
+
+    def last_checkpoint_completion_at_or_before(self, t: float) -> Optional[float]:
+        if isinstance(self.execution, RigidExecution):
+            return self.execution.last_checkpoint_completion_at_or_before(t)
+        return None
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced; summarised by :mod:`repro.metrics`."""
+
+    jobs: List[Job]
+    mechanism: Optional[str]
+    policy: str
+    system_size: int
+    makespan: float
+    first_submit: float
+    last_end: float
+    reserved_idle_node_seconds: float
+    free_node_seconds: float
+    decision_latencies: List[float] = field(default_factory=list)
+    events_processed: int = 0
+    schedule_passes: int = 0
+    wall_time_s: float = 0.0
+    lease_resumes: int = 0
+    lease_expands: int = 0
+    failures_injected: int = 0
+    #: populated when SimConfig.log_decisions is set
+    log: Optional[SchedulerLog] = None
+
+    @property
+    def horizon(self) -> float:
+        return max(self.last_end - self.first_submit, EPS)
+
+
+class Simulation:
+    """One trace-driven simulation run.
+
+    Parameters
+    ----------
+    jobs:
+        The workload.  Each job is mutated in place (state + stats), so
+        pass a fresh copy per run (:func:`repro.workload.trace.clone_jobs`).
+    config:
+        Machine/behaviour knobs; defaults follow §IV-B.
+    mechanism:
+        One of the six mechanisms, or ``None`` for the baseline
+        (FCFS/EASY with no special treatment of any job class).
+    policy:
+        Queue-ordering policy; FCFS by default.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        config: Optional[SimConfig] = None,
+        mechanism: Optional[Mechanism] = None,
+        policy: Optional[SchedulingPolicy] = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.mechanism = mechanism
+        self.policy = policy or FcfsPolicy()
+        self.jobs: List[Job] = list(jobs)
+        self._validate_jobs()
+        self.jobs_by_id: Dict[int, Job] = {j.job_id: j for j in self.jobs}
+
+        self.equeue = EventQueue()
+        self.cluster = Cluster(self.config.system_size)
+        self.coordinator = HybridCoordinator(
+            mechanism, self, reservation_grace_s=self.config.reservation_grace_s
+        )
+        if self.config.backfill_mode == "conservative":
+            self.planner = ConservativeBackfillPlanner(
+                flexible_malleable=self.config.flexible_malleable
+            )
+        else:
+            self.planner = BackfillPlanner(
+                backfill_enabled=self.config.backfill_enabled,
+                backfill_depth=self.config.backfill_depth,
+                allow_loans=self.config.allow_reserved_loans,
+                flexible_malleable=self.config.flexible_malleable,
+            )
+        self.queue: List[Job] = []
+        self.running: Dict[int, RunningJob] = {}
+        self._executions: Dict[int, Execution] = {}
+        self._epochs: Dict[int, int] = {}
+        self._events_processed = 0
+        self._schedule_passes = 0
+        self._failure_rng = RngStreams(self.config.failure_seed).get("failures")
+        self._failures_injected = 0
+        self.log = SchedulerLog(enabled=self.config.log_decisions)
+        self._seed_events()
+
+    # ------------------------------------------------------------------
+    def _validate_jobs(self) -> None:
+        seen = set()
+        for job in self.jobs:
+            if job.job_id in seen:
+                raise ConfigurationError(f"duplicate job id {job.job_id}")
+            seen.add(job.job_id)
+            if job.size > self.config.system_size:
+                raise ConfigurationError(
+                    f"job {job.job_id} needs {job.size} nodes but the "
+                    f"system has {self.config.system_size}"
+                )
+            if job.state is not JobState.PENDING:
+                raise ConfigurationError(
+                    f"job {job.job_id} enters the simulation in state "
+                    f"{job.state.value}; pass fresh jobs (clone_jobs)"
+                )
+
+    def _seed_events(self) -> None:
+        for job in self.jobs:
+            if not job.no_show:
+                self.equeue.push(
+                    job.submit_time, EventType.JOB_SUBMIT, job_id=job.job_id
+                )
+            if (
+                job.is_ondemand
+                and job.notice_class is not NoticeClass.NONE
+                and job.notice_time is not None
+            ):
+                self.equeue.push(
+                    job.notice_time, EventType.ADVANCE_NOTICE, job_id=job.job_id
+                )
+
+    # ------------------------------------------------------------------
+    # SimulatorOps surface (driven by the coordinator)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.equeue.now
+
+    def usable_free(self) -> int:
+        """Free nodes not held by any reservation."""
+        return self.cluster.free - self.coordinator.book.total_held
+
+    def running_views(self) -> List[RunningJob]:
+        return list(self.running.values())
+
+    def lookup_job(self, job_id: int) -> Job:
+        return self.jobs_by_id[job_id]
+
+    def push_planned_preempt(self, fire: float, od_id: int, victim_id: int) -> None:
+        self.equeue.push(
+            max(fire, self.now),
+            EventType.PLANNED_PREEMPT,
+            od_id=od_id,
+            victim_id=victim_id,
+        )
+
+    def push_reservation_timeout(self, fire: float, od_id: int) -> None:
+        if math.isfinite(fire):
+            self.equeue.push(max(fire, self.now), EventType.RESERVATION_TIMEOUT, od_id=od_id)
+
+    # ------------------------------------------------------------------
+    # Job lifecycle operations
+    # ------------------------------------------------------------------
+    def _execution_for(self, job: Job) -> Execution:
+        ex = self._executions.get(job.job_id)
+        if ex is None:
+            if job.is_malleable:
+                ex = MalleableExecution(job)
+            else:
+                if job.is_rigid:
+                    interval = self.config.checkpoint.interval(job.size)
+                    cost = self.config.checkpoint.cost(job.size)
+                else:  # on-demand jobs never checkpoint
+                    interval, cost = math.inf, 0.0
+                ex = RigidExecution(job, interval=interval, cost=cost)
+            self._executions[job.job_id] = ex
+        return ex
+
+    def _start_job(
+        self,
+        job: Job,
+        nodes: int,
+        loans: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Start *job* on *nodes* nodes, borrowing per *loans* if given."""
+        try:
+            self.queue.remove(job)
+        except ValueError as exc:
+            raise SimulationError(
+                f"job {job.job_id} started while not in the wait queue"
+            ) from exc
+        t = self.now
+        self.cluster.start_job(job.job_id, nodes)
+        if loans:
+            for rid, k in loans.items():
+                res = self.coordinator.book.get(rid)
+                if res is None:
+                    raise SimulationError(
+                        f"loan from vanished reservation {rid} for job {job.job_id}"
+                    )
+                self.coordinator.book.loan_out(res, job.job_id, k)
+        ex = self._execution_for(job)
+        if isinstance(ex, MalleableExecution):
+            ex.start_segment(t, nodes)
+        else:
+            if nodes != job.size:
+                raise SimulationError(
+                    f"{job.job_type.value} job {job.job_id} started on "
+                    f"{nodes} != {job.size} nodes"
+                )
+            ex.start_segment(t)
+        epoch = self._epochs.get(job.job_id, 0) + 1
+        self._epochs[job.job_id] = epoch
+        rj = RunningJob(job=job, execution=ex, nodes=nodes, epoch=epoch, started_at=t)
+        self.running[job.job_id] = rj
+        job.set_state(JobState.RUNNING)
+        if job.stats.first_start is None:
+            job.stats.first_start = t
+        job.stats.last_start = t
+        job.stats.segment_sizes.append(nodes)
+        self.equeue.push(
+            ex.finish_time(), EventType.JOB_FINISH, job_id=job.job_id, epoch=epoch
+        )
+        self._maybe_schedule_failure(rj)
+        self.log.add(
+            t,
+            LogKind.START,
+            job.job_id,
+            nodes=nodes,
+            detail="resume" if job.stats.preemptions else "",
+        )
+
+    def start_od_job(self, job: Job) -> None:
+        """Start an on-demand job at its full size from the free pool."""
+        self._start_job(job, job.size, None)
+
+    def resume_from_queue(self, job: Job, nodes: int) -> None:
+        """Lease-return resume (§III-B.3), bypassing the policy order."""
+        self._start_job(job, nodes, None)
+
+    @staticmethod
+    def _record_segment(rj: RunningJob, start: float, end: float, allocated: float) -> None:
+        if end > start + EPS:
+            rj.job.stats.segment_records.append(
+                (start, end, allocated / (end - start))
+            )
+
+    def preempt_running_job(self, job_id: int, reason: str) -> int:
+        """Preempt a running job; returns the released node count.
+
+        The caller (coordinator) is responsible for distributing the
+        released nodes via ``on_job_release`` so targeted claims and loan
+        returns happen in the right order.
+        """
+        rj = self.running.pop(job_id, None)
+        if rj is None:
+            raise SimulationError(f"preempt of non-running job {job_id}")
+        job = rj.job
+        acc = rj.execution.preempt(self.now)
+        self._record_segment(rj, rj.started_at, self.now, acc.allocated)
+        st = job.stats
+        st.allocated_node_seconds += acc.allocated
+        st.setup_node_seconds += acc.setup
+        st.wasted_setup_node_seconds += acc.setup  # preempted segment: all waste
+        st.retained_node_seconds += getattr(acc, "retained", acc.compute)
+        st.lost_node_seconds += getattr(acc, "lost", 0.0)
+        st.checkpoint_node_seconds += getattr(acc, "checkpoint", 0.0)
+        st.preemptions += 1
+        job.set_state(JobState.QUEUED)
+        self.queue.append(job)
+        self._epochs[job_id] = self._epochs.get(job_id, 0) + 1
+        released = self.cluster.end_job(job_id)
+        self.log.add(
+            self.now, LogKind.PREEMPT, job_id, nodes=released, detail=reason
+        )
+        return released
+
+    def shrink_running_malleable(self, job_id: int, take: int) -> int:
+        """Shrink a running malleable job by *take* nodes; returns *take*."""
+        rj = self.running.get(job_id)
+        if rj is None:
+            raise SimulationError(f"shrink of non-running job {job_id}")
+        if not isinstance(rj.execution, MalleableExecution):
+            raise SimulationError(f"shrink of non-malleable job {job_id}")
+        new_nodes = rj.nodes - take
+        rj.execution.resize(self.now, new_nodes)
+        self.cluster.resize_job(job_id, new_nodes)
+        rj.nodes = new_nodes
+        rj.job.stats.shrinks += 1
+        self._reschedule_finish(rj)
+        self.log.add(self.now, LogKind.SHRINK, job_id, nodes=take)
+        return take
+
+    def expand_running_malleable(self, job_id: int, give: int) -> int:
+        """Expand a running malleable job by up to *give* nodes."""
+        rj = self.running.get(job_id)
+        if rj is None:
+            raise SimulationError(f"expand of non-running job {job_id}")
+        if not isinstance(rj.execution, MalleableExecution):
+            raise SimulationError(f"expand of non-malleable job {job_id}")
+        new_nodes = min(rj.job.max_size, rj.nodes + give)
+        if new_nodes == rj.nodes:
+            return 0
+        rj.execution.resize(self.now, new_nodes)
+        self.cluster.resize_job(job_id, new_nodes)
+        grown = new_nodes - rj.nodes
+        rj.nodes = new_nodes
+        rj.job.stats.expands += 1
+        self._reschedule_finish(rj)
+        self.log.add(self.now, LogKind.EXPAND, job_id, nodes=grown)
+        return grown
+
+    def _reschedule_finish(self, rj: RunningJob) -> None:
+        rj.epoch += 1
+        self._epochs[rj.job.job_id] = rj.epoch
+        self.equeue.push(
+            rj.execution.finish_time(),
+            EventType.JOB_FINISH,
+            job_id=rj.job.job_id,
+            epoch=rj.epoch,
+        )
+        # Redraw the failure gap for the new epoch; the exponential is
+        # memoryless, so a fresh draw is statistically equivalent.
+        self._maybe_schedule_failure(rj)
+
+    def _maybe_schedule_failure(self, rj: RunningJob) -> None:
+        """Arm a failure event for this allocation if injection is on."""
+        fm = self.config.failures
+        if not fm.enabled:
+            return
+        # Anchor the draw at the segment start so a restart delay cannot
+        # produce a failure that precedes the restarted segment.
+        base = self.now
+        ex = rj.execution
+        if isinstance(ex, RigidExecution) and ex.timeline is not None:
+            base = max(base, ex.timeline.start)
+        elif isinstance(ex, MalleableExecution):
+            base = max(base, ex._last_update)
+        gap = fm.draw_time_to_failure(rj.nodes, self._failure_rng)
+        at = base + gap
+        if at < rj.execution.finish_time() - EPS:
+            self.equeue.push(
+                at, EventType.JOB_FAILURE, job_id=rj.job.job_id, epoch=rj.epoch
+            )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_submit(self, job_id: int) -> None:
+        job = self.jobs_by_id[job_id]
+        job.set_state(JobState.QUEUED)
+        self.queue.append(job)
+        self.log.add(self.now, LogKind.SUBMIT, job_id, nodes=job.size)
+        if job.is_ondemand:
+            self.coordinator.on_od_arrival(job)
+
+    def _handle_notice(self, job_id: int) -> None:
+        job = self.jobs_by_id[job_id]
+        job.set_state(JobState.NOTICED)
+        self.log.add(
+            self.now,
+            LogKind.NOTICE,
+            job_id,
+            nodes=job.size,
+            detail=f"eta={job.estimated_arrival:.0f}",
+        )
+        self.coordinator.on_advance_notice(job)
+
+    def _handle_finish(self, job_id: int, epoch: int) -> None:
+        rj = self.running.get(job_id)
+        if rj is None or rj.epoch != epoch:
+            return  # stale event from before a resize/preemption
+        job = rj.job
+        acc = rj.execution.complete(self.now)
+        self._record_segment(rj, rj.started_at, self.now, acc.allocated)
+        st = job.stats
+        st.allocated_node_seconds += acc.allocated
+        st.setup_node_seconds += acc.setup
+        st.retained_node_seconds += getattr(acc, "retained", acc.compute)
+        st.lost_node_seconds += getattr(acc, "lost", 0.0)
+        st.checkpoint_node_seconds += getattr(acc, "checkpoint", 0.0)
+        del self.running[job_id]
+        job.set_state(JobState.COMPLETED)
+        st.end_time = self.now
+        released = self.cluster.end_job(job_id)
+        self.log.add(self.now, LogKind.FINISH, job_id, nodes=released)
+        if job.is_ondemand:
+            self.coordinator.on_od_completion(job)
+        else:
+            self.coordinator.on_job_release(job_id, released)
+
+    def _handle_failure(self, job_id: int, epoch: int) -> None:
+        """A node under this job failed: roll back and restart in place.
+
+        The allocation is kept (§II-A: rigid applications "restart from
+        the latest checkpoint in the event of an interruption"); the job
+        pays a fresh setup and, for rigid jobs, loses the compute after
+        its last completed checkpoint.
+        """
+        rj = self.running.get(job_id)
+        if rj is None or rj.epoch != epoch:
+            return  # stale: the segment this failure was drawn for is gone
+        self._failures_injected += 1
+        job = rj.job
+        acc = rj.execution.preempt(self.now)
+        self._record_segment(rj, rj.started_at, self.now, acc.allocated)
+        st = job.stats
+        st.allocated_node_seconds += acc.allocated
+        st.setup_node_seconds += acc.setup
+        st.wasted_setup_node_seconds += acc.setup
+        st.retained_node_seconds += getattr(acc, "retained", acc.compute)
+        st.lost_node_seconds += getattr(acc, "lost", 0.0)
+        st.checkpoint_node_seconds += getattr(acc, "checkpoint", 0.0)
+        st.failures += 1
+        restart = self.now + self.config.failures.restart_delay_s
+        ex = rj.execution
+        if isinstance(ex, MalleableExecution):
+            ex.start_segment(restart, rj.nodes)
+        else:
+            ex.start_segment(restart)
+        rj.started_at = restart
+        st.segment_sizes.append(rj.nodes)
+        self._reschedule_finish(rj)
+        self.log.add(self.now, LogKind.FAILURE, job_id, nodes=rj.nodes)
+
+    def _handle_planned_preempt(self, od_id: int, victim_id: int) -> None:
+        self.coordinator.on_planned_preempt(od_id, victim_id)
+
+    def _handle_timeout(self, od_id: int) -> None:
+        self.coordinator.on_reservation_timeout(od_id)
+
+    # ------------------------------------------------------------------
+    # Scheduling pass
+    # ------------------------------------------------------------------
+    def _predict_wall(self, job: Job, nodes: int) -> float:
+        """Estimated wall-clock duration of *job* if started now on *nodes*."""
+        ex = self._executions.get(job.job_id)
+        if job.is_malleable:
+            pad = (job.estimate - job.runtime) * job.size
+            if isinstance(ex, MalleableExecution):
+                work = ex.work_remaining + pad
+            else:
+                work = job.estimate_node_seconds
+            return job.setup_time + work / nodes
+        if job.is_ondemand:
+            return job.setup_time + job.estimate
+        # rigid: include checkpoint overheads in the prediction
+        base = ex.completed_work if isinstance(ex, RigidExecution) else 0.0
+        est_total = max(job.estimate, base + EPS)
+        tl = RigidTimeline(
+            start=0.0,
+            setup=job.setup_time,
+            base_work=base,
+            total_work=est_total,
+            interval=self.config.checkpoint.interval(job.size),
+            cost=self.config.checkpoint.cost(job.size),
+        )
+        return tl.wall_for_work(est_total)
+
+    def _schedule_pass(self) -> None:
+        self._schedule_passes += 1
+        book = self.coordinator.book
+        # Pre-phase: waiting on-demand jobs assemble nodes via their
+        # (still-collecting) reservations, earliest arrival first.
+        if self.mechanism is not None:
+            waiting_od = sorted(
+                (j for j in self.queue if j.is_ondemand),
+                key=lambda j: (j.submit_time, j.job_id),
+            )
+            for od in waiting_od:
+                self.coordinator.try_start_queued_od(od)
+        if not self.queue:
+            return
+        usable = self.usable_free()
+        loanable = [
+            (r.od_job_id, r.held)
+            for r in book.active_reservations()
+            if not r.arrived and r.held > 0
+        ]
+        if usable <= 0 and not loanable:
+            return
+        ordered = self.policy.order(
+            self.queue, self.now, prioritize_ondemand=self.mechanism is not None
+        )
+        blocks = [
+            (rj.predicted_finish(), rj.nodes) for rj in self.running.values()
+        ]
+        for r in book.active_reservations():
+            if r.held <= 0:
+                continue
+            od = self.jobs_by_id[r.od_job_id]
+            release = (
+                self.now + od.estimate
+                if r.arrived
+                else r.estimated_arrival + od.estimate
+            )
+            blocks.append((max(release, self.now), r.held))
+        decisions = self.planner.plan(
+            now=self.now,
+            ordered_queue=ordered,
+            free=usable,
+            loanable=loanable,
+            running_blocks=blocks,
+            predict_wall=self._predict_wall,
+        )
+        for d in decisions:
+            self._start_job(d.job, d.nodes, d.loans or None)
+
+    # ------------------------------------------------------------------
+    # Invariant validation (tests / debug runs)
+    # ------------------------------------------------------------------
+    def validate_state(self) -> None:
+        self.coordinator.book.validate(self.cluster.free)
+        for job_id, rj in self.running.items():
+            if self.cluster.allocation(job_id) != rj.nodes:
+                raise SimulationError(
+                    f"job {job_id}: cluster says "
+                    f"{self.cluster.allocation(job_id)} nodes, record says "
+                    f"{rj.nodes}"
+                )
+            if rj.job.state is not JobState.RUNNING:
+                raise SimulationError(
+                    f"job {job_id} in running set but state {rj.job.state}"
+                )
+        for job in self.queue:
+            if job.state is not JobState.QUEUED:
+                raise SimulationError(
+                    f"job {job.job_id} in queue but state {job.state}"
+                )
+        if self.usable_free() < 0:
+            raise SimulationError(
+                f"reservations hold {self.coordinator.book.total_held} nodes "
+                f"but only {self.cluster.free} are free"
+            )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run the trace to completion and return the result record."""
+        t0 = _time.perf_counter()
+        dispatch = {
+            EventType.JOB_SUBMIT: lambda p: self._handle_submit(p["job_id"]),
+            EventType.ADVANCE_NOTICE: lambda p: self._handle_notice(p["job_id"]),
+            EventType.JOB_FINISH: lambda p: self._handle_finish(
+                p["job_id"], p["epoch"]
+            ),
+            EventType.JOB_FAILURE: lambda p: self._handle_failure(
+                p["job_id"], p["epoch"]
+            ),
+            EventType.PLANNED_PREEMPT: lambda p: self._handle_planned_preempt(
+                p["od_id"], p["victim_id"]
+            ),
+            EventType.RESERVATION_TIMEOUT: lambda p: self._handle_timeout(
+                p["od_id"]
+            ),
+        }
+        while len(self.equeue):
+            batch = self.equeue.pop_batch()
+            now = self.now
+            self.cluster.advance(now)
+            self.coordinator.book.advance(now)
+            for ev in batch:
+                self._events_processed += 1
+                dispatch[ev.type](ev.payload)
+            self._schedule_pass()
+            if self.config.validate_invariants:
+                self.validate_state()
+
+        if self.running or self.queue:
+            raise SimulationError(
+                f"simulation drained its events with {len(self.running)} jobs "
+                f"running and {len(self.queue)} queued — scheduling deadlock "
+                f"(free={self.cluster.free}, "
+                f"held={self.coordinator.book.total_held})"
+            )
+
+        arrived = [j for j in self.jobs if not j.no_show]
+        ends = [j.stats.end_time for j in arrived if j.stats.end_time is not None]
+        if len(ends) != len(arrived):
+            raise SimulationError("some jobs never completed")
+        for job in self.jobs:
+            if job.no_show and job.state not in (JobState.PENDING, JobState.NOTICED):
+                raise SimulationError(
+                    f"no-show job {job.job_id} somehow reached state "
+                    f"{job.state.value}"
+                )
+        first_submit = min(j.submit_time for j in self.jobs) if self.jobs else 0.0
+        last_end = max(ends) if ends else 0.0
+        return SimulationResult(
+            jobs=self.jobs,
+            mechanism=self.mechanism.name if self.mechanism else None,
+            policy=self.policy.name,
+            system_size=self.config.system_size,
+            makespan=last_end,
+            first_submit=first_submit,
+            last_end=last_end,
+            reserved_idle_node_seconds=self.coordinator.book.held_node_seconds,
+            free_node_seconds=self.cluster.free_node_seconds,
+            decision_latencies=list(self.coordinator.decision_latencies),
+            events_processed=self._events_processed,
+            schedule_passes=self._schedule_passes,
+            wall_time_s=_time.perf_counter() - t0,
+            lease_resumes=self.coordinator.lease_resumes,
+            lease_expands=self.coordinator.lease_expands,
+            failures_injected=self._failures_injected,
+            log=self.log if self.config.log_decisions else None,
+        )

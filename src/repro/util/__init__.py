@@ -1,0 +1,23 @@
+"""Shared utilities: time constants, seeded RNG streams, and error types."""
+
+from repro.util.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    SimulationError,
+)
+from repro.util.rng import RngStreams
+from repro.util.timeconst import DAY, HOUR, MINUTE, WEEK, format_duration
+
+__all__ = [
+    "ConfigurationError",
+    "InvariantViolation",
+    "ReproError",
+    "SimulationError",
+    "RngStreams",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "format_duration",
+]

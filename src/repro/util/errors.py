@@ -1,0 +1,19 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or simulation configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached a state it cannot make progress from."""
+
+
+class InvariantViolation(SimulationError):
+    """An internal consistency check failed (always a bug, never user error)."""

@@ -1,0 +1,78 @@
+"""Named, seeded random-number streams.
+
+Every stochastic component of the system (arrival process, job sizes,
+runtimes, setup overheads, on-demand notice classes, ...) draws from its own
+independent ``numpy.random.Generator``.  Streams are derived from a single
+root seed with ``numpy.random.SeedSequence.spawn`` keyed by *name*, so:
+
+* the whole experiment is bit-reproducible from one integer seed;
+* adding a new consumer never perturbs the draws seen by existing ones
+  (streams are independent, not a shared sequence);
+* two generators asking for the same stream name share state — a stream is
+  a singleton per :class:`RngStreams` instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+
+class RngStreams:
+    """A factory of independent named RNG streams derived from one seed.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  Two :class:`RngStreams` built from the same seed hand
+        out identical streams for identical names.
+
+    Examples
+    --------
+    >>> streams = RngStreams(7)
+    >>> a = streams.get("arrivals")
+    >>> b = streams.get("sizes")
+    >>> a is streams.get("arrivals")
+    True
+    >>> a is b
+    False
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an integer, got {type(seed).__name__}")
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory was built from."""
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the (singleton) generator for *name*."""
+        if name not in self._streams:
+            # Key the child seed on a stable hash of the name so stream
+            # identity does not depend on the order streams are requested.
+            digest = np.frombuffer(
+                name.encode("utf-8").ljust(8, b"\0")[:8], dtype=np.uint64
+            )[0]
+            ss = np.random.SeedSequence(
+                entropy=self._seed, spawn_key=(int(digest) & 0x7FFFFFFF,)
+            )
+            self._streams[name] = np.random.default_rng(ss)
+        return self._streams[name]
+
+    def spawn(self, index: int) -> "RngStreams":
+        """Derive a child factory (e.g. one per generated trace replica)."""
+        if index < 0:
+            raise ValueError("spawn index must be non-negative")
+        return RngStreams(self._seed * 1_000_003 + index + 1)
+
+    def names(self) -> Iterator[str]:
+        """Names of streams created so far (for debugging)."""
+        return iter(sorted(self._streams))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngStreams(seed={self._seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,38 @@
+"""Time constants and helpers.
+
+All simulation times are floats in *seconds* measured from the start of the
+trace (t=0).  These constants keep magic numbers out of the scheduler and
+workload code.
+"""
+
+from __future__ import annotations
+
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+WEEK: float = 7.0 * DAY
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form.
+
+    >>> format_duration(3660)
+    '1h01m'
+    >>> format_duration(45)
+    '45s'
+    >>> format_duration(90000)
+    '1d01h'
+    """
+    seconds = float(seconds)
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.0f}s"
+    if seconds < HOUR:
+        m, s = divmod(seconds, MINUTE)
+        return f"{int(m)}m{int(s):02d}s"
+    if seconds < DAY:
+        h, rem = divmod(seconds, HOUR)
+        return f"{int(h)}h{int(rem // MINUTE):02d}m"
+    d, rem = divmod(seconds, DAY)
+    return f"{int(d)}d{int(rem // HOUR):02d}h"

@@ -1,0 +1,67 @@
+"""Workload substrate: synthetic Theta-like traces (§IV-A).
+
+The paper drives CQSim with a one-year Cobalt log from Theta (ALCF).  That
+log is not publicly redistributable, so this package generates *synthetic*
+traces fitted to every statistic the paper reports — system size, job
+count, project count, size mix, runtime bounds, per-project bursty
+submission — and layers the paper's job-type assignment on top:
+
+* jobs are grouped by project and **all jobs of a project share one type**
+  (10 % of projects on-demand, 60 % rigid, 30 % malleable by default);
+* on-demand jobs larger than half the machine are randomly reassigned to
+  rigid/malleable;
+* each on-demand job gets one of the four Fig. 1 notice classes according
+  to a :class:`~repro.workload.spec.NoticeMix` (Table III's W1–W5).
+"""
+
+from repro.workload.ondemand import (
+    assign_notice_classes,
+    ondemand_jobs_per_week,
+)
+from repro.workload.projects import ProjectTable, assign_project_types
+from repro.workload.spec import (
+    NOTICE_MIXES,
+    NoticeMix,
+    W1,
+    W2,
+    W3,
+    W4,
+    W5,
+    WorkloadSpec,
+    theta_spec,
+)
+from repro.workload.theta import ThetaWorkloadGenerator, generate_trace
+from repro.workload.validate import Finding, assert_valid, validate_trace
+from repro.workload.trace import (
+    characterize_sizes,
+    clone_jobs,
+    load_trace_csv,
+    save_trace_csv,
+    type_shares,
+)
+
+__all__ = [
+    "Finding",
+    "assert_valid",
+    "validate_trace",
+    "assign_notice_classes",
+    "ondemand_jobs_per_week",
+    "ProjectTable",
+    "assign_project_types",
+    "NOTICE_MIXES",
+    "NoticeMix",
+    "W1",
+    "W2",
+    "W3",
+    "W4",
+    "W5",
+    "WorkloadSpec",
+    "theta_spec",
+    "ThetaWorkloadGenerator",
+    "generate_trace",
+    "characterize_sizes",
+    "clone_jobs",
+    "load_trace_csv",
+    "save_trace_csv",
+    "type_shares",
+]

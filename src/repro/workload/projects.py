@@ -1,0 +1,96 @@
+"""Project table: activity skew and project-level job-type assignment.
+
+§IV-A: "we group jobs by their project names and assume that all jobs
+belonging to one project have the same job types".  Project activity on
+real machines is heavily skewed — a few projects submit most jobs — which
+we model with Zipf weights.  Because the type assignment is uniform over
+*projects* while activity is skewed, the per-trace share of on-demand /
+rigid / malleable **jobs** varies a lot between seeds, exactly the spread
+Fig. 4 shows (on-demand jobs are 3–15 % of different traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.jobs.job import JobType
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProjectTable:
+    """Zipf activity weights and a type per project."""
+
+    weights: np.ndarray  # shape (n_projects,), sums to 1
+    types: Dict[int, JobType]
+
+    @property
+    def n_projects(self) -> int:
+        return len(self.weights)
+
+    def type_of(self, project: int) -> JobType:
+        return self.types[project]
+
+
+def zipf_weights(n: int, s: float, rng: np.random.Generator) -> np.ndarray:
+    """Zipf(s) activity weights with a random rank permutation."""
+    if n <= 0:
+        raise ConfigurationError("need at least one project")
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** (-s)
+    w /= w.sum()
+    rng.shuffle(w)
+    return w
+
+
+def assign_project_types(
+    n_projects: int,
+    frac_ondemand: float,
+    frac_rigid: float,
+    rng: np.random.Generator,
+) -> Dict[int, JobType]:
+    """Randomly partition projects into the three classes (§IV-B).
+
+    Counts are rounded so that at least one project of each non-zero class
+    exists; the remainder after on-demand and rigid is malleable.
+    """
+    if n_projects <= 0:
+        raise ConfigurationError("need at least one project")
+    n_od = int(round(frac_ondemand * n_projects))
+    n_rigid = int(round(frac_rigid * n_projects))
+    if frac_ondemand > 0:
+        n_od = max(1, n_od)
+    if frac_rigid > 0:
+        n_rigid = max(1, n_rigid)
+    if n_od + n_rigid > n_projects:
+        raise ConfigurationError(
+            f"type fractions allocate {n_od}+{n_rigid} projects out of "
+            f"{n_projects}"
+        )
+    order: List[int] = list(rng.permutation(n_projects))
+    types: Dict[int, JobType] = {}
+    for idx, project in enumerate(order):
+        if idx < n_od:
+            types[int(project)] = JobType.ONDEMAND
+        elif idx < n_od + n_rigid:
+            types[int(project)] = JobType.RIGID
+        else:
+            types[int(project)] = JobType.MALLEABLE
+    return types
+
+
+def build_project_table(
+    n_projects: int,
+    zipf_s: float,
+    frac_ondemand: float,
+    frac_rigid: float,
+    rng: np.random.Generator,
+) -> ProjectTable:
+    """Weights + types in one call (the generator's entry point)."""
+    return ProjectTable(
+        weights=zipf_weights(n_projects, zipf_s, rng),
+        types=assign_project_types(n_projects, frac_ondemand, frac_rigid, rng),
+    )

@@ -1,0 +1,178 @@
+"""Workload specification: all tunables of the synthetic trace generator.
+
+Defaults reproduce the Theta workload of Table I / Fig. 3 and the job-type
+configuration of §IV-B.  Tests shrink the machine and the horizon through
+the same spec, so every statistical property is exercised at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.util.errors import ConfigurationError
+from repro.util.timeconst import DAY, HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class NoticeMix:
+    """Fractions of the four on-demand notice classes (Fig. 1, Table III).
+
+    Order: (no notice, accurate notice, arrive early, arrive late).
+    """
+
+    name: str
+    none: float
+    accurate: float
+    early: float
+    late: float
+
+    def __post_init__(self) -> None:
+        total = self.none + self.accurate + self.early + self.late
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"notice mix {self.name}: fractions sum to {total}, not 1"
+            )
+        for frac in (self.none, self.accurate, self.early, self.late):
+            if frac < 0:
+                raise ConfigurationError(
+                    f"notice mix {self.name}: negative fraction"
+                )
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.none, self.accurate, self.early, self.late)
+
+
+#: Table III — the five workload notice-accuracy mixes.
+W1 = NoticeMix("W1", 0.70, 0.10, 0.10, 0.10)
+W2 = NoticeMix("W2", 0.10, 0.70, 0.10, 0.10)
+W3 = NoticeMix("W3", 0.10, 0.10, 0.70, 0.10)
+W4 = NoticeMix("W4", 0.10, 0.10, 0.10, 0.70)
+W5 = NoticeMix("W5", 0.25, 0.25, 0.25, 0.25)
+
+NOTICE_MIXES: Dict[str, NoticeMix] = {m.name: m for m in (W1, W2, W3, W4, W5)}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Every knob of the synthetic Theta-like trace generator.
+
+    The generator draws jobs until the *offered load* (total node-seconds
+    of work over machine capacity in the submission window) reaches
+    ``target_load`` — so the job count scales with the horizon and lands
+    near Theta's ~37.3 k/year at the default load.
+    """
+
+    # --- machine & horizon -------------------------------------------------
+    system_size: int = 4392
+    days: float = 365.0
+    #: offered load: sum(size*runtime) / (system_size * horizon).  0.82 is
+    #: calibrated so baseline FCFS/EASY lands near Table II (~84 % util,
+    #: ~22 % on-demand instant start) on multi-week horizons.
+    target_load: float = 0.82
+
+    # --- job size mix (Fig. 3) --------------------------------------------
+    min_size: int = 128
+    #: (bucket upper bound as fraction of log2 range is implicit) weights of
+    #: the five Fig. 3 size buckets, smallest first
+    size_bucket_weights: Tuple[float, ...] = (0.58, 0.24, 0.10, 0.055, 0.025)
+    #: bucket boundaries in nodes; the last bucket tops out at system_size
+    size_bucket_edges: Tuple[int, ...] = (128, 256, 512, 1024, 2048)
+    #: node-count granularity jobs are rounded to
+    size_granularity: int = 64
+
+    # --- runtimes & estimates (Table I: max job length one day) ------------
+    min_runtime_s: float = 5 * MINUTE
+    max_runtime_s: float = DAY
+    runtime_lognorm_median_s: float = 1.4 * HOUR
+    runtime_lognorm_sigma: float = 1.1
+    #: estimates are runtime * (1 + pad), pad ~ Exp(estimate_pad_mean),
+    #: rounded up to estimate_granularity_s and clamped to max_runtime_s
+    estimate_pad_mean: float = 0.8
+    estimate_granularity_s: float = 30 * MINUTE
+
+    # --- projects & burstiness (Table I: 211 projects; Fig. 5) -------------
+    n_projects: int = 211
+    project_zipf_s: float = 1.4
+    #: mean jobs per submission session (bursts)
+    session_mean_jobs: float = 4.0
+    #: mean intra-session inter-arrival
+    session_interarrival_s: float = 5 * MINUTE
+    #: sessions cluster into multi-day activity windows (campaigns), which
+    #: is what makes the *weekly* on-demand counts of Fig. 5 swing
+    sessions_per_window: float = 5.0
+    activity_window_std_s: float = 1.5 * DAY
+
+    # --- job-type assignment (§IV-B) ---------------------------------------
+    frac_projects_ondemand: float = 0.10
+    frac_projects_rigid: float = 0.60
+    #: remainder of projects is malleable
+    #: on-demand jobs wider than this fraction of the machine are
+    #: reassigned to rigid/malleable (§IV-A)
+    ondemand_max_size_frac: float = 0.5
+
+    # --- per-type parameters (§IV-B) ----------------------------------------
+    rigid_setup_frac: Tuple[float, float] = (0.05, 0.10)
+    malleable_setup_frac: Tuple[float, float] = (0.0, 0.05)
+    malleable_min_size_frac: float = 0.20
+
+    # --- advance notice (§III-A, §IV-B) -------------------------------------
+    notice_mix: NoticeMix = W5
+    notice_lead_range_s: Tuple[float, float] = (15 * MINUTE, 30 * MINUTE)
+    late_window_s: float = 30 * MINUTE
+    #: fraction of *noticed* on-demand jobs that never actually arrive
+    #: (§III-B.4: "may arrive late or even do not show up"); extension,
+    #: zero in paper-faithful runs
+    ondemand_noshow_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.system_size <= 0:
+            raise ConfigurationError("system_size must be positive")
+        if self.days <= 0:
+            raise ConfigurationError("days must be positive")
+        if not (0 < self.target_load <= 2.0):
+            raise ConfigurationError("target_load must be in (0, 2]")
+        if self.min_size <= 0 or self.min_size > self.system_size:
+            raise ConfigurationError("min_size must be in [1, system_size]")
+        if len(self.size_bucket_weights) != len(self.size_bucket_edges):
+            raise ConfigurationError(
+                "size_bucket_weights and size_bucket_edges lengths differ"
+            )
+        if abs(sum(self.size_bucket_weights) - 1.0) > 1e-9:
+            raise ConfigurationError("size bucket weights must sum to 1")
+        if self.min_runtime_s <= 0 or self.max_runtime_s < self.min_runtime_s:
+            raise ConfigurationError("invalid runtime bounds")
+        if self.n_projects <= 0:
+            raise ConfigurationError("n_projects must be positive")
+        f_od, f_r = self.frac_projects_ondemand, self.frac_projects_rigid
+        if f_od < 0 or f_r < 0 or f_od + f_r > 1.0 + 1e-9:
+            raise ConfigurationError("project type fractions invalid")
+        if not (0 < self.malleable_min_size_frac <= 1):
+            raise ConfigurationError("malleable_min_size_frac must be in (0,1]")
+        lo, hi = self.notice_lead_range_s
+        if lo < 0 or hi < lo:
+            raise ConfigurationError("invalid notice lead range")
+        if not (0.0 <= self.ondemand_noshow_frac <= 1.0):
+            raise ConfigurationError("ondemand_noshow_frac must be in [0, 1]")
+
+    @property
+    def horizon_s(self) -> float:
+        return self.days * DAY
+
+    def with_notice_mix(self, mix: NoticeMix) -> "WorkloadSpec":
+        """Copy of this spec with a different Table III mix."""
+        from dataclasses import replace
+
+        return replace(self, notice_mix=mix)
+
+
+def theta_spec(days: float = 365.0, **overrides) -> WorkloadSpec:
+    """The Theta-calibrated spec, optionally shortened or tweaked.
+
+    >>> spec = theta_spec(days=28, target_load=0.9)
+    >>> spec.system_size
+    4392
+    """
+    from dataclasses import replace
+
+    return replace(WorkloadSpec(days=days), **overrides)

@@ -1,0 +1,192 @@
+"""Trace utilities: cloning, CSV persistence, and characterization.
+
+``clone_jobs`` matters because :class:`~repro.sim.simulator.Simulation`
+mutates jobs in place (state machine + statistics): comparing mechanisms
+on the *same* trace requires a fresh copy per run.
+
+The CSV format is a small self-describing superset of the fields a
+Cobalt/SWF log would provide, so generated traces can be archived and
+reloaded bit-exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.jobs.job import Job, JobType, NoticeClass
+from repro.util.errors import ConfigurationError
+from repro.util.timeconst import HOUR
+
+#: Theta nodes have 64 cores (KNL); used to express Fig. 3 in core-hours.
+CORES_PER_NODE = 64
+
+_FIELDS = [
+    "job_id",
+    "job_type",
+    "submit_time",
+    "size",
+    "runtime",
+    "estimate",
+    "setup_time",
+    "min_size",
+    "project",
+    "notice_class",
+    "notice_time",
+    "estimated_arrival",
+    "no_show",
+]
+
+
+def clone_jobs(jobs: Sequence[Job]) -> List[Job]:
+    """Fresh (state=PENDING, zeroed stats) copies of a trace."""
+    return [
+        Job(
+            job_id=j.job_id,
+            job_type=j.job_type,
+            submit_time=j.submit_time,
+            size=j.size,
+            runtime=j.runtime,
+            estimate=j.estimate,
+            setup_time=j.setup_time,
+            min_size=j.min_size,
+            project=j.project,
+            notice_class=j.notice_class,
+            notice_time=j.notice_time,
+            estimated_arrival=j.estimated_arrival,
+            no_show=j.no_show,
+        )
+        for j in jobs
+    ]
+
+
+def save_trace_csv(jobs: Sequence[Job], path: str) -> None:
+    """Write a trace to CSV (schema in ``_FIELDS``)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_FIELDS)
+        for j in jobs:
+            writer.writerow(
+                [
+                    j.job_id,
+                    j.job_type.value,
+                    repr(j.submit_time),
+                    j.size,
+                    repr(j.runtime),
+                    repr(j.estimate),
+                    repr(j.setup_time),
+                    "" if j.min_size is None else j.min_size,
+                    j.project,
+                    j.notice_class.value,
+                    "" if j.notice_time is None else repr(j.notice_time),
+                    ""
+                    if j.estimated_arrival is None
+                    else repr(j.estimated_arrival),
+                    int(j.no_show),
+                ]
+            )
+
+
+def load_trace_csv(path: str) -> List[Job]:
+    """Read a trace written by :func:`save_trace_csv`."""
+    jobs: List[Job] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _FIELDS:
+            raise ConfigurationError(
+                f"{path}: unexpected header {header!r}; not a repro trace file"
+            )
+        for row in reader:
+            rec = dict(zip(_FIELDS, row))
+            jobs.append(
+                Job(
+                    job_id=int(rec["job_id"]),
+                    job_type=JobType(rec["job_type"]),
+                    submit_time=float(rec["submit_time"]),
+                    size=int(rec["size"]),
+                    runtime=float(rec["runtime"]),
+                    estimate=float(rec["estimate"]),
+                    setup_time=float(rec["setup_time"]),
+                    min_size=int(rec["min_size"]) if rec["min_size"] else None,
+                    project=int(rec["project"]),
+                    notice_class=NoticeClass(rec["notice_class"]),
+                    notice_time=float(rec["notice_time"])
+                    if rec["notice_time"]
+                    else None,
+                    estimated_arrival=float(rec["estimated_arrival"])
+                    if rec["estimated_arrival"]
+                    else None,
+                    no_show=bool(int(rec["no_show"])),
+                )
+            )
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Characterization (Table I, Fig. 3, Fig. 4)
+# ----------------------------------------------------------------------
+def characterize_sizes(
+    jobs: Sequence[Job],
+    edges: Sequence[int] = (128, 256, 512, 1024, 2048),
+) -> List[Tuple[str, int, float]]:
+    """Per-size-bucket (label, job count, core-hours) — the Fig. 3 rings.
+
+    ``edges`` are bucket lower bounds; the last bucket is open-ended.
+    """
+    edges = list(edges)
+    labels = [
+        f"{edges[i]}-{edges[i + 1] - 1}" if i + 1 < len(edges) else f">={edges[i]}"
+        for i in range(len(edges))
+    ]
+    counts = [0] * len(edges)
+    core_hours = [0.0] * len(edges)
+    for j in jobs:
+        bucket = 0
+        for i, lo in enumerate(edges):
+            if j.size >= lo:
+                bucket = i
+        counts[bucket] += 1
+        core_hours[bucket] += j.size * CORES_PER_NODE * j.runtime / HOUR
+    return [
+        (labels[i], counts[i], core_hours[i]) for i in range(len(edges))
+    ]
+
+
+def type_shares(jobs: Sequence[Job]) -> Dict[str, float]:
+    """Fraction of jobs per type (one bar of Fig. 4)."""
+    if not jobs:
+        return {t.value: 0.0 for t in JobType}
+    return {
+        t.value: sum(1 for j in jobs if j.job_type is t) / len(jobs)
+        for t in JobType
+    }
+
+
+def table1_summary(jobs: Sequence[Job], system_size: int) -> Dict[str, object]:
+    """The Table I row for a generated trace."""
+    if not jobs:
+        raise ConfigurationError("empty trace")
+    horizon_days = max(j.submit_time for j in jobs) / (24 * HOUR)
+    return {
+        "compute_nodes": system_size,
+        "trace_period_days": round(horizon_days, 1),
+        "number_of_jobs": len(jobs),
+        "number_of_projects": len({j.project for j in jobs}),
+        "max_job_length_h": max(j.runtime for j in jobs) / HOUR,
+        "min_job_size": min(j.size for j in jobs),
+        "max_job_size": max(j.size for j in jobs),
+    }
+
+
+def offered_load(jobs: Sequence[Job], system_size: int, horizon_s: Optional[float] = None) -> float:
+    """Total requested work over machine capacity in the window."""
+    if not jobs:
+        return 0.0
+    if horizon_s is None:
+        horizon_s = max(j.submit_time for j in jobs) - min(
+            j.submit_time for j in jobs
+        )
+        horizon_s = max(horizon_s, 1.0)
+    work = sum(j.size * j.runtime for j in jobs)
+    return work / (system_size * horizon_s)

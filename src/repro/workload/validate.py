@@ -1,0 +1,122 @@
+"""Trace linting for user-supplied workloads.
+
+Generated traces are correct by construction; traces loaded from CSV/SWF
+or built by hand are not.  :func:`validate_trace` returns a list of
+human-readable findings instead of raising on the first problem, so a
+user can fix a whole file in one pass.  ``errors_only=True`` restricts
+the output to findings that would break or silently distort a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.jobs.job import Job, JobType, NoticeClass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    job_id: int  # -1 for trace-level findings
+    message: str
+
+    def __str__(self) -> str:
+        where = f"job {self.job_id}" if self.job_id >= 0 else "trace"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+def validate_trace(
+    jobs: Sequence[Job],
+    system_size: int,
+    errors_only: bool = False,
+) -> List[Finding]:
+    """Lint a trace against the simulator's requirements.
+
+    Errors (simulation would fail or be wrong):
+
+    * duplicate job ids;
+    * job wider than the machine;
+    * on-demand notice after the actual arrival.
+
+    Warnings (legal but usually a data problem):
+
+    * trace not sorted by submission time;
+    * estimate equal to runtime for >90 % of jobs (real logs pad);
+    * malleable job that cannot shrink (min == max);
+    * on-demand job wider than half the machine (the paper reassigns
+      those);
+    * a LATE arrival beyond 30 minutes past its estimate (outside the
+      paper's model).
+    """
+    findings: List[Finding] = []
+
+    def err(job_id: int, msg: str) -> None:
+        findings.append(Finding("error", job_id, msg))
+
+    def warn(job_id: int, msg: str) -> None:
+        if not errors_only:
+            findings.append(Finding("warning", job_id, msg))
+
+    seen = set()
+    last_submit = float("-inf")
+    sorted_ok = True
+    exact_estimates = 0
+    for j in jobs:
+        if j.job_id in seen:
+            err(j.job_id, "duplicate job id")
+        seen.add(j.job_id)
+        if j.size > system_size:
+            err(
+                j.job_id,
+                f"requests {j.size} nodes on a {system_size}-node machine",
+            )
+        if j.submit_time < last_submit:
+            sorted_ok = False
+        last_submit = max(last_submit, j.submit_time)
+        if j.estimate <= j.runtime * (1 + 1e-9):
+            exact_estimates += 1
+        if j.job_type is JobType.MALLEABLE and j.min_size == j.size:
+            warn(j.job_id, "malleable but min_size == size: cannot shrink")
+        if j.job_type is JobType.ONDEMAND:
+            if j.size > system_size / 2:
+                warn(
+                    j.job_id,
+                    "on-demand job wider than half the machine "
+                    "(§IV-A reassigns these to rigid/malleable)",
+                )
+            if j.notice_class is not NoticeClass.NONE:
+                if j.notice_time is not None and j.notice_time > j.submit_time:
+                    err(j.job_id, "advance notice after the actual arrival")
+                if (
+                    j.notice_class is NoticeClass.LATE
+                    and j.estimated_arrival is not None
+                    and j.submit_time - j.estimated_arrival > 1800.0 + 1e-6
+                ):
+                    warn(
+                        j.job_id,
+                        "LATE arrival more than 30 min past its estimate",
+                    )
+
+    if not sorted_ok:
+        warn(-1, "jobs are not sorted by submission time")
+    if jobs and exact_estimates > 0.9 * len(jobs):
+        warn(
+            -1,
+            f"{exact_estimates}/{len(jobs)} estimates equal the runtime; "
+            "real logs pad estimates (backfilling behaviour will differ)",
+        )
+    return findings
+
+
+def assert_valid(jobs: Sequence[Job], system_size: int) -> None:
+    """Raise ``ValueError`` listing every *error*-level finding."""
+    errors = [
+        f for f in validate_trace(jobs, system_size, errors_only=True)
+    ]
+    if errors:
+        raise ValueError(
+            "invalid trace:\n" + "\n".join(str(f) for f in errors)
+        )

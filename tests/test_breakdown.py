@@ -1,0 +1,90 @@
+"""Tests for the fine-grained metric breakdowns."""
+
+import pytest
+
+from repro.core.mechanisms import Mechanism
+from repro.jobs.checkpoint import CheckpointModel
+from repro.jobs.job import Job, JobType, NoticeClass
+from repro.metrics.breakdown import (
+    ondemand_by_notice_class,
+    utilization_series,
+    utilization_sparkline,
+    waste_by_type,
+)
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulation
+from repro.util.timeconst import HOUR
+
+
+def cfg():
+    return SimConfig(
+        system_size=100,
+        checkpoint=CheckpointModel.disabled(),
+        validate_invariants=True,
+    )
+
+
+def trace():
+    return [
+        Job(job_id=1, job_type=JobType.RIGID, submit_time=0.0, size=100,
+            runtime=2 * HOUR, estimate=2 * HOUR),
+        Job(job_id=2, job_type=JobType.ONDEMAND, submit_time=HOUR, size=40,
+            runtime=HOUR, estimate=HOUR),
+        Job(job_id=3, job_type=JobType.ONDEMAND, submit_time=1.5 * HOUR,
+            size=20, runtime=0.5 * HOUR, estimate=0.5 * HOUR,
+            notice_class=NoticeClass.ACCURATE, notice_time=HOUR,
+            estimated_arrival=1.5 * HOUR),
+    ]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Simulation(trace(), cfg(), Mechanism.parse("N&PAA")).run()
+
+
+class TestNoticeClassBreakdown:
+    def test_groups_cover_all_classes(self, result):
+        rows = ondemand_by_notice_class(result)
+        assert {r.notice_class for r in rows} == {
+            "none", "accurate", "early", "late"
+        }
+
+    def test_counts(self, result):
+        rows = {r.notice_class: r for r in ondemand_by_notice_class(result)}
+        assert rows["none"].count == 1
+        assert rows["accurate"].count == 1
+        assert rows["early"].count == 0
+
+    def test_instant_rates(self, result):
+        rows = {r.notice_class: r for r in ondemand_by_notice_class(result)}
+        assert rows["none"].instant_rate == 1.0
+        assert rows["accurate"].instant_rate == 1.0
+
+
+class TestWasteByType:
+    def test_victim_type_carries_waste(self, result):
+        w = waste_by_type(result)
+        assert w["rigid"]["preemptions"] >= 1
+        assert w["rigid"]["lost_compute_node_h"] > 0
+        assert w["ondemand"]["lost_compute_node_h"] == 0.0
+
+
+class TestUtilizationSeries:
+    def test_series_bounds(self, result):
+        series = utilization_series(result, bin_s=HOUR)
+        assert series
+        assert all(0.0 <= u <= 1.0 for u in series)
+
+    def test_first_hour_fully_used(self, result):
+        series = utilization_series(result, bin_s=HOUR)
+        # the rigid job holds the whole machine in hour 0
+        assert series[0] > 0.9
+
+    def test_sparkline_renders(self, result):
+        line = utilization_sparkline(result, bin_s=HOUR)
+        assert isinstance(line, str)
+        assert len(line) == len(utilization_series(result, bin_s=HOUR))
+
+    def test_sparkline_width_cap(self, result):
+        line = utilization_sparkline(result, bin_s=HOUR / 6, width=10)
+        assert len(line) <= 10

@@ -1,0 +1,91 @@
+"""Unit tests for the checkpoint cost/interval model (Daly)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jobs.checkpoint import (
+    LARGE_JOB_CHECKPOINT_COST_S,
+    LARGE_JOB_THRESHOLD_NODES,
+    SMALL_JOB_CHECKPOINT_COST_S,
+    CheckpointModel,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestCost:
+    def test_small_job_cost(self):
+        m = CheckpointModel()
+        assert m.cost(128) == SMALL_JOB_CHECKPOINT_COST_S
+        assert m.cost(LARGE_JOB_THRESHOLD_NODES - 1) == SMALL_JOB_CHECKPOINT_COST_S
+
+    def test_large_job_cost(self):
+        m = CheckpointModel()
+        assert m.cost(LARGE_JOB_THRESHOLD_NODES) == LARGE_JOB_CHECKPOINT_COST_S
+        assert m.cost(4392) == LARGE_JOB_CHECKPOINT_COST_S
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            CheckpointModel().cost(0)
+
+
+class TestDaly:
+    def test_formula(self):
+        m = CheckpointModel()
+        # tau = sqrt(2*C*M) - C
+        assert m.daly_interval(600.0, 3.6e6) == pytest.approx(
+            math.sqrt(2 * 600 * 3.6e6) - 600
+        )
+
+    def test_min_clamp(self):
+        m = CheckpointModel(min_interval_s=500.0)
+        # Tiny MTBF drives the formula negative; the clamp holds.
+        assert m.daly_interval(600.0, 10.0) == 500.0
+
+    def test_interval_decreases_with_job_size(self):
+        """Wider jobs fail more often -> checkpoint more often."""
+        m = CheckpointModel()
+        assert m.interval(2048) < m.interval(256)
+
+    def test_multiplier_scales_interval(self):
+        m = CheckpointModel()
+        half = m.with_multiplier(0.5)
+        assert half.interval(256) == pytest.approx(0.5 * m.interval(256))
+
+    def test_disabled_is_infinite(self):
+        assert math.isinf(CheckpointModel.disabled().interval(256))
+
+    def test_job_mtbf_series_system(self):
+        m = CheckpointModel(node_mtbf_s=1e6)
+        assert m.job_mtbf(100) == pytest.approx(1e4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"node_mtbf_s": 0},
+            {"node_mtbf_s": -1},
+            {"interval_multiplier": 0},
+            {"min_interval_s": 0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CheckpointModel(**kwargs)
+
+    def test_invalid_daly_args(self):
+        m = CheckpointModel()
+        with pytest.raises(ValueError):
+            m.daly_interval(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            m.daly_interval(600.0, 0.0)
+        with pytest.raises(ValueError):
+            m.job_mtbf(0)
+
+    @given(
+        nodes=st.integers(min_value=1, max_value=10000),
+        mult=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_interval_always_at_least_min(self, nodes, mult):
+        m = CheckpointModel(interval_multiplier=mult)
+        assert m.interval(nodes) >= m.min_interval_s

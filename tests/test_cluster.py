@@ -1,0 +1,111 @@
+"""Unit tests for cluster node accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cluster import Cluster
+from repro.util.errors import InvariantViolation
+
+
+class TestAllocation:
+    def test_start_and_end(self):
+        c = Cluster(100)
+        c.start_job(1, 30)
+        assert c.free == 70
+        assert c.allocation(1) == 30
+        assert c.used == 30
+        assert c.end_job(1) == 30
+        assert c.free == 100
+
+    def test_over_allocation_rejected(self):
+        c = Cluster(100)
+        with pytest.raises(InvariantViolation):
+            c.start_job(1, 101)
+
+    def test_double_start_rejected(self):
+        c = Cluster(100)
+        c.start_job(1, 10)
+        with pytest.raises(InvariantViolation):
+            c.start_job(1, 10)
+
+    def test_end_unknown_rejected(self):
+        with pytest.raises(InvariantViolation):
+            Cluster(100).end_job(9)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(InvariantViolation):
+            Cluster(100).start_job(1, 0)
+
+    def test_bad_total(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+
+class TestResize:
+    def test_shrink_and_expand(self):
+        c = Cluster(100)
+        c.start_job(1, 50)
+        assert c.resize_job(1, 30) == -20
+        assert c.free == 70
+        assert c.resize_job(1, 60) == 30
+        assert c.free == 40
+
+    def test_expand_beyond_free_rejected(self):
+        c = Cluster(100)
+        c.start_job(1, 50)
+        c.start_job(2, 50)
+        with pytest.raises(InvariantViolation):
+            c.resize_job(1, 60)
+
+    def test_resize_to_zero_rejected(self):
+        c = Cluster(100)
+        c.start_job(1, 50)
+        with pytest.raises(InvariantViolation):
+            c.resize_job(1, 0)
+
+    def test_resize_unknown_rejected(self):
+        with pytest.raises(InvariantViolation):
+            Cluster(100).resize_job(7, 10)
+
+
+class TestTimeIntegral:
+    def test_free_node_seconds(self):
+        c = Cluster(100)
+        c.advance(10.0)  # 100 free * 10s
+        c.start_job(1, 40)
+        c.advance(20.0)  # 60 free * 10s
+        assert c.free_node_seconds == pytest.approx(1000.0 + 600.0)
+
+    def test_clock_backwards_rejected(self):
+        c = Cluster(10)
+        c.advance(5.0)
+        with pytest.raises(InvariantViolation):
+            c.advance(4.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["start", "end", "resize"]),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=1, max_value=40),
+        ),
+        max_size=40,
+    )
+)
+def test_conservation_under_random_ops(ops):
+    """free + sum(allocations) == total holds through any legal op sequence."""
+    c = Cluster(100)
+    for op, job_id, nodes in ops:
+        try:
+            if op == "start":
+                c.start_job(job_id, nodes)
+            elif op == "end":
+                c.end_job(job_id)
+            else:
+                c.resize_job(job_id, nodes)
+        except InvariantViolation:
+            pass  # illegal op correctly refused; state must stay consistent
+        assert c.free + sum(c.running.values()) == c.total
+        assert c.free >= 0

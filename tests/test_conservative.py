@@ -1,0 +1,170 @@
+"""Tests for conservative backfilling and the availability profile."""
+
+import pytest
+
+from repro.jobs.checkpoint import CheckpointModel
+from repro.jobs.job import Job, JobState, JobType
+from repro.sched.conservative import (
+    AvailabilityProfile,
+    ConservativeBackfillPlanner,
+)
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulation
+from repro.util.errors import ConfigurationError
+
+
+def rigid(job_id, size, estimate=1000.0, submit=0.0):
+    return Job(
+        job_id=job_id,
+        job_type=JobType.RIGID,
+        submit_time=submit,
+        size=size,
+        runtime=estimate,
+        estimate=estimate,
+    )
+
+
+def flat_wall(job, nodes):
+    return job.estimate
+
+
+class TestAvailabilityProfile:
+    def test_immediate_fit(self):
+        p = AvailabilityProfile(0.0, 50, [])
+        assert p.earliest_start(30, 100.0) == 0.0
+
+    def test_waits_for_release(self):
+        p = AvailabilityProfile(0.0, 10, [(500.0, 40)])
+        assert p.earliest_start(30, 100.0) == 500.0
+
+    def test_window_must_be_sustained(self):
+        # 50 free now, but a reservation dip [200, 300) to 20 nodes:
+        # a 250 s window starting now would overlap the dip
+        p = AvailabilityProfile(0.0, 50, [])
+        p.reserve(200.0, 100.0, 30)
+        assert p.earliest_start(30, 250.0) == 300.0
+        # a window that ends before the dip still starts immediately
+        assert p.earliest_start(30, 150.0) == 0.0
+
+    def test_multiple_releases_accumulate(self):
+        p = AvailabilityProfile(0.0, 0, [(100.0, 20), (200.0, 20)])
+        assert p.earliest_start(40, 50.0) == 200.0
+
+    def test_reserve_then_fit_behind(self):
+        p = AvailabilityProfile(0.0, 100, [])
+        p.reserve(0.0, 1000.0, 80)
+        assert p.earliest_start(30, 10.0) == 1000.0
+        assert p.earliest_start(20, 10.0) == 0.0
+
+    def test_negative_reservation_caught(self):
+        p = AvailabilityProfile(0.0, 10, [])
+        with pytest.raises(AssertionError):
+            p.reserve(0.0, 10.0, 20)
+
+
+class TestPlanner:
+    def plan(self, queue, free, blocks=()):
+        planner = ConservativeBackfillPlanner()
+        return planner.plan(
+            now=0.0,
+            ordered_queue=queue,
+            free=free,
+            loanable=[],
+            running_blocks=list(blocks),
+            predict_wall=flat_wall,
+        )
+
+    def test_in_order_starts(self):
+        ds = self.plan([rigid(1, 30), rigid(2, 40)], free=80)
+        assert [d.job.job_id for d in ds] == [1, 2]
+        assert not any(d.backfilled for d in ds)
+
+    def test_backfill_cannot_delay_any_reservation(self):
+        # head (100) reserved at t=2000; second job (90) reserved behind it
+        # at 2000+?; a 30-node job that would push either is rejected.
+        queue = [
+            rigid(1, 100, estimate=5000.0),
+            rigid(2, 90, estimate=1000.0),
+            rigid(3, 30, estimate=3000.0),
+        ]
+        ds = self.plan(queue, free=40, blocks=[(2000.0, 80)])
+        # job3 fits now (40 free) and ends at 3000 > 2000 — EASY would
+        # reject it too; but conservative also protects job2's reservation.
+        # job2 reserved at t=2000..? job2 needs 90: avail hits 90 only
+        # after job1's reservation ends (2000+5000). Within [0,7000) the
+        # profile floor for job3: starting now ends 3000, overlapping
+        # job1's reservation [2000, 7000) which uses 100 of 120 -> only 20
+        # free: job3 must wait.
+        assert [d.job.job_id for d in ds] == []
+
+    def test_harmless_backfill_allowed(self):
+        queue = [
+            rigid(1, 100, estimate=5000.0),
+            rigid(2, 20, estimate=1000.0),
+        ]
+        ds = self.plan(queue, free=40, blocks=[(2000.0, 80)])
+        # job1 reserved at 2000 (40+80=120 >= 100); job2 (20 nodes, ends
+        # 1000) fits in the 40 free now and leaves 20 <= extra at 2000.
+        assert [d.job.job_id for d in ds] == [2]
+        assert ds[0].backfilled
+
+    def test_no_loans_used(self):
+        queue = [rigid(1, 50, estimate=1000.0)]
+        ds = self.plan(queue, free=50)
+        assert ds[0].loans == {}
+
+
+class TestSimulationIntegration:
+    def test_config_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(backfill_mode="optimistic")
+
+    def run(self, jobs, mode):
+        config = SimConfig(
+            system_size=100,
+            checkpoint=CheckpointModel.disabled(),
+            backfill_mode=mode,
+            validate_invariants=True,
+        )
+        return Simulation(jobs, config).run()
+
+    def test_conservative_completes_trace(self):
+        jobs = [rigid(i, 30 + i, submit=i * 10.0, estimate=500.0) for i in range(8)]
+        res = self.run(jobs, "conservative")
+        assert all(j.state is JobState.COMPLETED for j in res.jobs)
+
+    def test_conservative_protects_second_in_queue(self):
+        """EASY lets job3 delay job2 (non-head); conservative does not."""
+        jobs = [
+            rigid(1, 60, estimate=5000.0, submit=0.0),
+            rigid(2, 100, estimate=1000.0, submit=10.0),
+            rigid(3, 90, estimate=1000.0, submit=20.0),
+            rigid(4, 40, estimate=20000.0, submit=30.0),
+        ]
+        easy = self.run([Job(**{f: getattr(j, f) for f in (
+            'job_id', 'job_type', 'submit_time', 'size', 'runtime', 'estimate')})
+            for j in jobs], "easy")
+        conservative = self.run(jobs, "conservative")
+
+        def start(res, jid):
+            return next(j.stats.first_start for j in res.jobs if j.job_id == jid)
+
+        # under EASY, job4 (40 nodes, long) backfills on extra nodes and
+        # delays job3 (which is not the head); conservative refuses.
+        assert start(conservative, 3) <= start(easy, 3)
+
+    @pytest.mark.parametrize("seed", [0, 11, 42, 99, 123, 500])
+    def test_conservative_random_traces_complete(self, seed):
+        import sys
+        sys.path.insert(0, "tests")
+        from test_simulator_invariants import random_trace
+
+        jobs = [j for j in random_trace(seed, 25)]
+        config = SimConfig(
+            system_size=64,
+            checkpoint=CheckpointModel.disabled(),
+            backfill_mode="conservative",
+            validate_invariants=True,
+        )
+        res = Simulation(jobs, config).run()
+        assert all(j.state is JobState.COMPLETED for j in res.jobs)

@@ -1,0 +1,48 @@
+"""Tests for mechanism naming/parsing."""
+
+import pytest
+
+from repro.core.mechanisms import (
+    ALL_MECHANISMS,
+    ArrivalStrategy,
+    Mechanism,
+    NoticeStrategy,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestMechanism:
+    def test_six_mechanisms(self):
+        assert len(ALL_MECHANISMS) == 6
+        names = [m.name for m in ALL_MECHANISMS]
+        assert names == [
+            "N&PAA",
+            "N&SPAA",
+            "CUA&PAA",
+            "CUA&SPAA",
+            "CUP&PAA",
+            "CUP&SPAA",
+        ]
+
+    @pytest.mark.parametrize("name", [m.name for m in ALL_MECHANISMS])
+    def test_parse_roundtrip(self, name):
+        assert Mechanism.parse(name).name == name
+
+    def test_parse_case_insensitive(self):
+        m = Mechanism.parse("cua&spaa")
+        assert m.notice is NoticeStrategy.COLLECT_UNTIL_ACTUAL
+        assert m.arrival is ArrivalStrategy.SHRINK_PREEMPT
+
+    def test_parse_with_spaces(self):
+        assert Mechanism.parse(" CUP & PAA ").name == "CUP&PAA"
+
+    @pytest.mark.parametrize("bad", ["", "CUA", "CUA&XYZ", "FOO&PAA", "A&B&C"])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(ConfigurationError):
+            Mechanism.parse(bad)
+
+    def test_str(self):
+        assert str(ALL_MECHANISMS[0]) == "N&PAA"
+
+    def test_frozen_and_hashable(self):
+        assert len({*ALL_MECHANISMS}) == 6

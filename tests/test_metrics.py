@@ -1,0 +1,116 @@
+"""Tests for metric summarisation and report formatting."""
+
+import math
+
+import pytest
+
+from repro.core.mechanisms import Mechanism
+from repro.jobs.checkpoint import CheckpointModel
+from repro.jobs.job import Job, JobType
+from repro.metrics.report import format_summary_rows, format_table
+from repro.metrics.summary import average_summaries, summarize
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulation
+from repro.util.timeconst import HOUR
+
+
+def run_small(mechanism=None):
+    jobs = [
+        Job(job_id=1, job_type=JobType.RIGID, submit_time=0.0, size=50,
+            runtime=1000.0, estimate=1000.0),
+        Job(job_id=2, job_type=JobType.MALLEABLE, submit_time=0.0, size=50,
+            min_size=10, runtime=1000.0, estimate=1000.0),
+        Job(job_id=3, job_type=JobType.ONDEMAND, submit_time=100.0, size=100,
+            runtime=500.0, estimate=500.0),
+    ]
+    config = SimConfig(
+        system_size=100,
+        checkpoint=CheckpointModel.disabled(),
+        validate_invariants=True,
+    )
+    return Simulation(jobs, config, mechanism).run()
+
+
+class TestSummarize:
+    def test_counts(self):
+        s = summarize(run_small())
+        assert s.n_jobs == 3
+        assert s.n_rigid == 1
+        assert s.n_malleable == 1
+        assert s.n_ondemand == 1
+
+    def test_turnaround_values(self):
+        s = summarize(run_small())
+        # rigid and malleable run [0, 1000]; od waits until 1000, ends 1500
+        assert s.avg_turnaround_rigid_h == pytest.approx(1000.0 / HOUR)
+        assert s.avg_turnaround_ondemand_h == pytest.approx(1400.0 / HOUR)
+
+    def test_instant_rate_baseline_zero(self):
+        s = summarize(run_small())
+        assert s.instant_start_rate == 0.0
+
+    def test_instant_rate_with_mechanism(self):
+        s = summarize(run_small(Mechanism.parse("N&PAA")))
+        assert s.instant_start_rate == 1.0
+        assert s.preemption_ratio_rigid + s.preemption_ratio_malleable > 0
+
+    def test_utilization_bounds(self):
+        s = summarize(run_small())
+        assert 0.0 < s.system_utilization <= 1.0
+        assert s.allocated_frac >= s.system_utilization
+
+    def test_utilization_exact_no_waste(self):
+        s = summarize(run_small())
+        # capacity = 100 nodes * 1500 s; work = 2*50*1000 + 100*500
+        assert s.system_utilization == pytest.approx(150000.0 / 150000.0)
+
+    def test_decision_latency_fields(self):
+        s = summarize(run_small(Mechanism.parse("N&PAA")))
+        assert s.decision_latency_max_s >= s.decision_latency_p50_s >= 0.0
+
+    def test_as_dict(self):
+        d = summarize(run_small()).as_dict()
+        assert "system_utilization" in d
+        assert d["n_jobs"] == 3
+
+
+class TestAverage:
+    def test_average_summaries(self):
+        s1 = summarize(run_small())
+        s2 = summarize(run_small(Mechanism.parse("N&PAA")))
+        avg = average_summaries([s1, s2])
+        assert avg.instant_start_rate == pytest.approx(0.5)
+        assert avg.n_jobs == 3
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_summaries([])
+
+    def test_average_ignores_nan(self):
+        s1 = summarize(run_small())
+        avg = average_summaries([s1, s1])
+        assert not math.isnan(avg.avg_turnaround_h)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 0.123456]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "0.1235" in text
+
+    def test_format_table_title_and_nan(self):
+        text = format_table(["x"], [[float("nan")]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert "-" in text.splitlines()[-1]
+
+    def test_format_summary_rows(self):
+        s = summarize(run_small())
+        text = format_summary_rows([s], title="demo")
+        assert "baseline" in text
+        assert "turnaround[h]" in text
+
+    def test_format_summary_rows_mechanism_name(self):
+        s = summarize(run_small(Mechanism.parse("CUA&SPAA")))
+        assert "CUA&SPAA" in format_summary_rows([s])

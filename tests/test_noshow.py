@@ -1,0 +1,183 @@
+"""Tests for on-demand no-shows (§III-B.4 extension).
+
+"An on-demand job may arrive late or even do not show up.  To preempt
+deadlock, if an on-demand job has not arrived after a certain period of
+time of its estimated arrival time, the scheduler will release the
+reserved nodes."
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.mechanisms import Mechanism
+from repro.jobs.checkpoint import CheckpointModel
+from repro.jobs.job import Job, JobState, JobType, NoticeClass
+from repro.metrics.summary import summarize
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulation
+from repro.util.errors import ConfigurationError
+from repro.workload.spec import theta_spec
+from repro.workload.theta import generate_trace
+from repro.workload.trace import clone_jobs, load_trace_csv, save_trace_csv
+
+
+def noshow_od(job_id=9, notice=1000.0, estimated=2500.0, size=50):
+    return Job(
+        job_id=job_id,
+        job_type=JobType.ONDEMAND,
+        submit_time=estimated,
+        size=size,
+        runtime=1000.0,
+        estimate=1000.0,
+        notice_class=NoticeClass.ACCURATE,
+        notice_time=notice,
+        estimated_arrival=estimated,
+        no_show=True,
+    )
+
+
+def rigid(job_id, submit, size, runtime):
+    return Job(
+        job_id=job_id,
+        job_type=JobType.RIGID,
+        submit_time=submit,
+        size=size,
+        runtime=runtime,
+        estimate=runtime,
+    )
+
+
+def cfg():
+    return SimConfig(
+        system_size=100,
+        checkpoint=CheckpointModel.disabled(),
+        validate_invariants=True,
+    )
+
+
+class TestValidation:
+    def test_noshow_requires_notice(self):
+        with pytest.raises(ConfigurationError):
+            Job(
+                job_id=1,
+                job_type=JobType.ONDEMAND,
+                submit_time=100.0,
+                size=10,
+                runtime=100.0,
+                estimate=100.0,
+                no_show=True,
+            )
+
+    def test_noshow_only_ondemand(self):
+        with pytest.raises(ConfigurationError):
+            Job(
+                job_id=1,
+                job_type=JobType.RIGID,
+                submit_time=0.0,
+                size=10,
+                runtime=100.0,
+                estimate=100.0,
+                no_show=True,
+            )
+
+
+class TestSimulation:
+    def test_noshow_never_runs_and_releases_reservation(self):
+        trace = [
+            rigid(1, 0.0, 100, 2000.0),
+            noshow_od(),
+            rigid(3, 1500.0, 100, 500.0),
+        ]
+        res = Simulation(trace, cfg(), Mechanism.parse("CUA&PAA")).run()
+        phantom = next(j for j in res.jobs if j.no_show)
+        assert phantom.state is JobState.NOTICED
+        assert phantom.stats.first_start is None
+        # job 3 needs the whole machine; the phantom's holding (collected
+        # at job 1's finish, t=2000) blocks it until the grace timeout at
+        # estimated + 600 = 3100.
+        waiter = next(j for j in res.jobs if j.job_id == 3)
+        assert waiter.stats.first_start == pytest.approx(3100.0)
+
+    def test_noshow_with_baseline_is_harmless(self):
+        trace = [rigid(1, 0.0, 50, 1000.0), noshow_od()]
+        res = Simulation(trace, cfg(), None).run()
+        assert next(j for j in res.jobs if j.no_show).state is JobState.NOTICED
+
+    def test_noshow_excluded_from_metrics(self):
+        trace = [
+            rigid(1, 0.0, 50, 1000.0),
+            noshow_od(),
+            Job(
+                job_id=2,
+                job_type=JobType.ONDEMAND,
+                submit_time=100.0,
+                size=20,
+                runtime=300.0,
+                estimate=300.0,
+            ),
+        ]
+        res = Simulation(trace, cfg(), Mechanism.parse("N&PAA")).run()
+        s = summarize(res)
+        assert s.n_noshow == 1
+        assert s.n_ondemand == 1  # only the arrived one
+        assert s.instant_start_rate == 1.0
+
+    def test_cup_plans_cancelled_by_timeout_without_arrival(self):
+        """A CUP reservation for a no-show must not leave ghost holdings."""
+        trace = [
+            rigid(1, 0.0, 100, 20000.0),
+            noshow_od(notice=1000.0, estimated=2500.0),
+            rigid(3, 2000.0, 100, 500.0),
+        ]
+        res = Simulation(trace, cfg(), Mechanism.parse("CUP&PAA")).run()
+        assert all(
+            j.state is JobState.COMPLETED for j in res.jobs if not j.no_show
+        )
+
+
+class TestGeneratorAndTrace:
+    def test_generator_produces_noshows(self):
+        spec = theta_spec(days=10, target_load=0.6, ondemand_noshow_frac=0.5)
+        jobs = generate_trace(spec, seed=3)
+        noticed = [
+            j
+            for j in jobs
+            if j.is_ondemand and j.notice_class is not NoticeClass.NONE
+        ]
+        phantoms = [j for j in jobs if j.no_show]
+        if noticed:
+            assert 0 < len(phantoms) <= len(noticed)
+
+    def test_noshow_frac_zero_default(self):
+        jobs = generate_trace(theta_spec(days=5, target_load=0.5), seed=1)
+        assert not any(j.no_show for j in jobs)
+
+    def test_invalid_frac(self):
+        with pytest.raises(ConfigurationError):
+            theta_spec(ondemand_noshow_frac=1.5)
+
+    def test_clone_and_csv_preserve_noshow(self, tmp_path):
+        trace = [noshow_od()]
+        assert clone_jobs(trace)[0].no_show is True
+        path = str(tmp_path / "t.csv")
+        save_trace_csv(trace, path)
+        assert load_trace_csv(path)[0].no_show is True
+
+    def test_full_sim_with_generated_noshows(self):
+        spec = theta_spec(
+            days=7,
+            target_load=0.7,
+            ondemand_noshow_frac=0.3,
+        )
+        jobs = generate_trace(spec, seed=5)
+        config = replace(SimConfig(), validate_invariants=True)
+        res = Simulation(jobs, config, Mechanism.parse("CUA&SPAA")).run()
+        s = summarize(res)
+        assert all(
+            j.state is JobState.COMPLETED for j in res.jobs if not j.no_show
+        )
+        # arrived on-demand jobs still start instantly despite phantom
+        # reservations competing for collected nodes
+        if s.n_ondemand:
+            assert s.instant_start_rate > 0.8

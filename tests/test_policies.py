@@ -1,0 +1,72 @@
+"""Unit tests for queue-ordering policies."""
+
+from repro.jobs.job import Job, JobType
+from repro.sched.fcfs import FcfsPolicy, LjfPolicy, SjfPolicy
+
+
+def job(job_id, submit=0.0, size=100, runtime=1000.0, estimate=None, jtype=JobType.RIGID):
+    return Job(
+        job_id=job_id,
+        job_type=jtype,
+        submit_time=submit,
+        size=size,
+        runtime=runtime,
+        estimate=estimate if estimate is not None else runtime,
+    )
+
+
+class TestFcfs:
+    def test_orders_by_submit(self):
+        jobs = [job(1, submit=30), job(2, submit=10), job(3, submit=20)]
+        ordered = FcfsPolicy().order(jobs, now=100.0)
+        assert [j.job_id for j in ordered] == [2, 3, 1]
+
+    def test_job_id_tiebreak(self):
+        jobs = [job(5, submit=10), job(2, submit=10)]
+        ordered = FcfsPolicy().order(jobs, now=100.0)
+        assert [j.job_id for j in ordered] == [2, 5]
+
+    def test_ondemand_retries_first(self):
+        """Preempted-or-waiting on-demand jobs go to the front (§III-B.2)."""
+        jobs = [
+            job(1, submit=10),
+            job(2, submit=500, jtype=JobType.ONDEMAND),
+        ]
+        ordered = FcfsPolicy().order(jobs, now=1000.0)
+        assert [j.job_id for j in ordered] == [2, 1]
+
+    def test_baseline_no_ondemand_priority(self):
+        jobs = [
+            job(1, submit=10),
+            job(2, submit=500, jtype=JobType.ONDEMAND),
+        ]
+        ordered = FcfsPolicy().order(jobs, now=1000.0, prioritize_ondemand=False)
+        assert [j.job_id for j in ordered] == [1, 2]
+
+    def test_preempted_job_keeps_original_submit(self):
+        """A preempted job resubmitted with its original time sorts early."""
+        old = job(1, submit=5)
+        newer = job(2, submit=300)
+        ordered = FcfsPolicy().order([newer, old], now=1000.0)
+        assert ordered[0] is old
+
+
+class TestSjf:
+    def test_orders_by_estimate(self):
+        jobs = [job(1, estimate=5000.0, runtime=100.0), job(2, estimate=100.0, runtime=100.0)]
+        ordered = SjfPolicy().order(jobs, now=0.0)
+        assert [j.job_id for j in ordered] == [2, 1]
+
+
+class TestLjf:
+    def test_orders_by_size_desc(self):
+        jobs = [job(1, size=10), job(2, size=500), job(3, size=100)]
+        ordered = LjfPolicy().order(jobs, now=0.0)
+        assert [j.job_id for j in ordered] == [2, 3, 1]
+
+
+class TestNames:
+    def test_policy_names(self):
+        assert FcfsPolicy().name == "fcfs"
+        assert SjfPolicy().name == "sjf"
+        assert LjfPolicy().name == "ljf"

@@ -1,0 +1,105 @@
+"""Unit tests for victim selection and the lender ledger."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ledger import Lease, LeaseKind, LenderLedger
+from repro.core.preemption import VictimCandidate, select_victims
+
+
+def vc(job_id, nodes, loss):
+    return VictimCandidate(job_id=job_id, nodes=nodes, loss=loss)
+
+
+class TestSelectVictims:
+    def test_zero_deficit(self):
+        assert select_victims([vc(1, 10, 5.0)], 0) == []
+
+    def test_insufficient_returns_none(self):
+        assert select_victims([vc(1, 10, 5.0)], 11) is None
+
+    def test_cheapest_first(self):
+        victims = select_victims(
+            [vc(1, 10, 100.0), vc(2, 10, 1.0), vc(3, 10, 50.0)], 15
+        )
+        assert [v.job_id for v in victims] == [2, 3]
+
+    def test_stops_when_covered(self):
+        victims = select_victims([vc(1, 100, 1.0), vc(2, 100, 2.0)], 50)
+        assert [v.job_id for v in victims] == [1]
+
+    def test_tie_broken_by_job_id(self):
+        victims = select_victims([vc(9, 10, 1.0), vc(3, 10, 1.0)], 5)
+        assert victims[0].job_id == 3
+
+    def test_exact_cover(self):
+        victims = select_victims([vc(1, 7, 1.0), vc(2, 3, 2.0)], 10)
+        assert sum(v.nodes for v in victims) == 10
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        cands=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=100),
+                st.floats(min_value=0, max_value=1e6),
+            ),
+            max_size=15,
+        ),
+        deficit=st.integers(min_value=1, max_value=800),
+    )
+    def test_properties(self, cands, deficit):
+        candidates = [vc(i, n, l) for i, (n, l) in enumerate(cands)]
+        total = sum(c.nodes for c in candidates)
+        chosen = select_victims(candidates, deficit)
+        if total < deficit:
+            assert chosen is None
+            return
+        assert sum(v.nodes for v in chosen) >= deficit
+        # minimality: dropping the last victim leaves the deficit uncovered
+        assert sum(v.nodes for v in chosen[:-1]) < deficit
+        # cheapest-first: chosen losses are a prefix of the sorted losses
+        losses = sorted((c.loss, c.job_id) for c in candidates)
+        assert [(v.loss, v.job_id) for v in chosen] == losses[: len(chosen)]
+
+
+class TestLedger:
+    def test_add_and_settle(self):
+        ledger = LenderLedger()
+        ledger.add(Lease(od_job_id=9, lender_job_id=1, nodes=10, kind=LeaseKind.PREEMPTED))
+        ledger.add(Lease(od_job_id=9, lender_job_id=2, nodes=5, kind=LeaseKind.SHRUNK))
+        assert ledger.total_owed(9) == 15
+        leases = ledger.settle(9)
+        assert [(l.lender_job_id, l.nodes) for l in leases] == [(1, 10), (2, 5)]
+        assert ledger.total_owed(9) == 0
+        assert ledger.settle(9) == []
+
+    def test_merge_same_lender_same_kind(self):
+        ledger = LenderLedger()
+        ledger.add(Lease(9, 1, 10, LeaseKind.SHRUNK))
+        ledger.add(Lease(9, 1, 5, LeaseKind.SHRUNK))
+        assert len(ledger.outstanding(9)) == 1
+        assert ledger.total_owed(9) == 15
+
+    def test_no_merge_across_kinds(self):
+        ledger = LenderLedger()
+        ledger.add(Lease(9, 1, 10, LeaseKind.SHRUNK))
+        ledger.add(Lease(9, 1, 5, LeaseKind.PREEMPTED))
+        assert len(ledger.outstanding(9)) == 2
+
+    def test_isolated_by_od_job(self):
+        ledger = LenderLedger()
+        ledger.add(Lease(9, 1, 10, LeaseKind.PREEMPTED))
+        ledger.add(Lease(8, 1, 3, LeaseKind.PREEMPTED))
+        assert ledger.total_owed(9) == 10
+        assert ledger.total_owed(8) == 3
+        assert len(ledger) == 2
+
+    def test_zero_node_lease_rejected(self):
+        with pytest.raises(ValueError):
+            Lease(9, 1, 0, LeaseKind.PREEMPTED)
+
+    def test_order_preserved(self):
+        ledger = LenderLedger()
+        for lender in (5, 3, 8):
+            ledger.add(Lease(9, lender, 1, LeaseKind.PREEMPTED))
+        assert [l.lender_job_id for l in ledger.settle(9)] == [5, 3, 8]

@@ -1,0 +1,113 @@
+"""Tests for the opt-in scheduler decision log."""
+
+import pytest
+
+from repro.core.mechanisms import Mechanism
+from repro.jobs.checkpoint import CheckpointModel
+from repro.jobs.job import Job, JobType, NoticeClass
+from repro.sim.config import SimConfig
+from repro.sim.schedlog import LogKind, SchedulerLog
+from repro.sim.simulator import Simulation
+
+
+def cfg(log=True):
+    return SimConfig(
+        system_size=100,
+        checkpoint=CheckpointModel.disabled(),
+        log_decisions=log,
+        validate_invariants=True,
+    )
+
+
+def trace():
+    return [
+        Job(job_id=1, job_type=JobType.RIGID, submit_time=0.0, size=100,
+            runtime=10000.0, estimate=12000.0, setup_time=100.0),
+        Job(job_id=2, job_type=JobType.ONDEMAND, submit_time=5000.0, size=40,
+            runtime=1000.0, estimate=1000.0,
+            notice_class=NoticeClass.ACCURATE, notice_time=3500.0,
+            estimated_arrival=5000.0),
+        Job(job_id=3, job_type=JobType.MALLEABLE, submit_time=11000.0,
+            size=60, min_size=12, runtime=500.0, estimate=500.0),
+    ]
+
+
+class TestLogObject:
+    def test_disabled_log_records_nothing(self):
+        log = SchedulerLog(enabled=False)
+        log.add(1.0, LogKind.START, 1)
+        assert len(log) == 0
+
+    def test_query_helpers(self):
+        log = SchedulerLog()
+        log.add(1.0, LogKind.START, 1, nodes=10)
+        log.add(2.0, LogKind.FINISH, 1, nodes=10)
+        log.add(3.0, LogKind.START, 2, nodes=5)
+        assert [e.kind for e in log.for_job(1)] == [LogKind.START, LogKind.FINISH]
+        assert len(log.of_kind(LogKind.START)) == 2
+        assert len(list(log.between(1.5, 3.5))) == 2
+
+    def test_render(self):
+        log = SchedulerLog()
+        log.add(3600.0, LogKind.PREEMPT, 7, nodes=64, detail="paa-arrival")
+        text = log.render()
+        assert "preempt" in text and "job=7" in text and "paa-arrival" in text
+
+    def test_render_limit(self):
+        log = SchedulerLog()
+        for i in range(10):
+            log.add(float(i), LogKind.SUBMIT, i)
+        text = log.render(limit=3)
+        assert "7 more entries" in text
+
+
+class TestSimulationLogging:
+    def test_off_by_default(self):
+        res = Simulation(trace(), cfg(log=False), Mechanism.parse("N&PAA")).run()
+        assert res.log is None
+
+    def test_full_lifecycle_recorded(self):
+        res = Simulation(trace(), cfg(), Mechanism.parse("N&PAA")).run()
+        log = res.log
+        assert log is not None
+        kinds = {e.kind for e in log.entries}
+        assert LogKind.SUBMIT in kinds
+        assert LogKind.NOTICE in kinds
+        assert LogKind.START in kinds
+        assert LogKind.FINISH in kinds
+        assert LogKind.PREEMPT in kinds  # od preempts the rigid job
+
+    def test_preempt_reason_recorded(self):
+        res = Simulation(trace(), cfg(), Mechanism.parse("N&PAA")).run()
+        preempts = res.log.of_kind(LogKind.PREEMPT)
+        assert preempts and preempts[0].detail == "paa-arrival"
+        assert preempts[0].job_id == 1
+
+    def test_job_history_is_ordered_and_complete(self):
+        res = Simulation(trace(), cfg(), Mechanism.parse("N&PAA")).run()
+        history = res.log.for_job(1)
+        kinds = [e.kind for e in history]
+        # submit -> start -> preempt -> start(resume) -> finish
+        assert kinds == [
+            LogKind.SUBMIT,
+            LogKind.START,
+            LogKind.PREEMPT,
+            LogKind.START,
+            LogKind.FINISH,
+        ]
+        times = [e.time for e in history]
+        assert times == sorted(times)
+        assert history[3].detail == "resume"
+
+    def test_shrink_expand_logged_under_spaa(self):
+        jobs = [
+            Job(job_id=1, job_type=JobType.MALLEABLE, submit_time=0.0,
+                size=100, min_size=20, runtime=2000.0, estimate=2000.0),
+            Job(job_id=2, job_type=JobType.ONDEMAND, submit_time=500.0,
+                size=40, runtime=1000.0, estimate=1000.0),
+        ]
+        res = Simulation(jobs, cfg(), Mechanism.parse("N&SPAA")).run()
+        assert res.log.of_kind(LogKind.SHRINK)
+        assert res.log.of_kind(LogKind.EXPAND)
+        shrink = res.log.of_kind(LogKind.SHRINK)[0]
+        assert shrink.job_id == 1 and shrink.nodes == 40

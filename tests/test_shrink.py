@@ -1,0 +1,102 @@
+"""Unit + property tests for SPAA's even water-filling shrink planner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shrink import ShrinkCandidate, plan_even_shrink
+
+
+def cand(job_id, current, minimum):
+    return ShrinkCandidate(job_id=job_id, current=current, minimum=minimum)
+
+
+class TestBasics:
+    def test_zero_deficit(self):
+        assert plan_even_shrink([cand(1, 100, 20)], 0) == {}
+
+    def test_insufficient_supply_returns_none(self):
+        assert plan_even_shrink([cand(1, 100, 90)], 20) is None
+
+    def test_no_candidates(self):
+        assert plan_even_shrink([], 5) is None
+
+    def test_exact_supply(self):
+        plan = plan_even_shrink([cand(1, 100, 20)], 80)
+        assert plan == {1: 80}
+
+    def test_single_job_partial(self):
+        plan = plan_even_shrink([cand(1, 100, 20)], 30)
+        assert plan == {1: 30}
+
+    def test_even_levels(self):
+        """Two equal jobs share the burden equally."""
+        plan = plan_even_shrink([cand(1, 100, 10), cand(2, 100, 10)], 40)
+        assert plan == {1: 20, 2: 20}
+
+    def test_larger_job_gives_more(self):
+        """Water-filling takes from the tallest job first."""
+        plan = plan_even_shrink([cand(1, 200, 10), cand(2, 100, 10)], 100)
+        assert plan[1] == 100
+        assert 2 not in plan  # level settles at 100; job 2 untouched
+
+    def test_minimum_respected(self):
+        plan = plan_even_shrink([cand(1, 100, 80), cand(2, 100, 10)], 60)
+        assert plan[1] <= 20
+        assert plan[1] + plan[2] == 60
+
+    def test_surplus_redistribution_deterministic(self):
+        # Supply at level L may overshoot; surplus returns to lowest ids.
+        plan1 = plan_even_shrink([cand(1, 10, 1), cand(2, 10, 1), cand(3, 10, 1)], 7)
+        plan2 = plan_even_shrink([cand(1, 10, 1), cand(2, 10, 1), cand(3, 10, 1)], 7)
+        assert plan1 == plan2
+        assert sum(plan1.values()) == 7
+
+    def test_invalid_candidate(self):
+        with pytest.raises(ValueError):
+            cand(1, 10, 20)
+        with pytest.raises(ValueError):
+            cand(1, 10, 0)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=500),  # minimum
+            st.integers(min_value=0, max_value=500),  # headroom above min
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    deficit_frac=st.floats(min_value=0.0, max_value=1.2),
+)
+def test_water_fill_properties(data, deficit_frac):
+    cands = [
+        cand(i, minimum + headroom, minimum)
+        for i, (minimum, headroom) in enumerate(data)
+    ]
+    supply = sum(c.current - c.minimum for c in cands)
+    deficit = int(deficit_frac * supply)
+    plan = plan_even_shrink(cands, deficit)
+    if deficit > supply:
+        assert plan is None
+        return
+    assert plan is not None
+    # exact total
+    assert sum(plan.values()) == deficit
+    by_id = {c.job_id: c for c in cands}
+    levels = {}
+    for job_id, take in plan.items():
+        c = by_id[job_id]
+        assert 0 < take <= c.current - c.minimum
+        levels[job_id] = c.current - take
+    # evenness: every shrunk job sits within 1 node of the common level
+    # unless pinned at its own minimum
+    if plan:
+        active = [
+            lvl
+            for job_id, lvl in levels.items()
+            if lvl > by_id[job_id].minimum
+        ]
+        if active:
+            assert max(active) - min(active) <= 1

@@ -1,0 +1,109 @@
+"""Tests for the Standard Workload Format reader and re-typing layer."""
+
+import numpy as np
+import pytest
+
+from repro.jobs.job import JobType, NoticeClass
+from repro.util.errors import ConfigurationError
+from repro.workload.spec import W5
+from repro.workload.swf import load_swf, retype_jobs
+
+#: a tiny synthetic SWF fragment: 18 fields per line
+SWF_TEXT = """\
+; Version: 2.2
+; Computer: TestMachine
+; MaxNodes: 100
+1  100  5 3600 64  -1 -1 64 7200 -1 1 10 -1 2 -1 -1 -1 -1
+2  200  1 1800 128 -1 -1 128 3600 -1 1 11 -1 3 -1 -1 -1 -1
+3  300 10 -1   64  -1 -1 64 7200 -1 0 10 -1 2 -1 -1 -1 -1
+4  400  2 900  32  -1 -1 32 -1   -1 1 12 -1 -1 -1 -1 -1 -1
+5  500  0 600  0   -1 -1 0  1200 -1 1 13 -1 4 -1 -1 -1 -1
+"""
+
+
+@pytest.fixture()
+def swf_path(tmp_path):
+    p = tmp_path / "test.swf"
+    p.write_text(SWF_TEXT)
+    return str(p)
+
+
+class TestLoadSwf:
+    def test_parses_valid_jobs(self, swf_path):
+        jobs = load_swf(swf_path)
+        # job 3 (runtime -1) and job 5 (0 procs) are skipped
+        assert len(jobs) == 3
+        assert all(j.job_type is JobType.RIGID for j in jobs)
+
+    def test_fields_mapped(self, swf_path):
+        jobs = load_swf(swf_path)
+        first = jobs[0]
+        assert first.submit_time == 0.0  # rebased to the first submission
+        assert first.runtime == 3600.0
+        assert first.size == 64
+        assert first.estimate == 7200.0
+        assert first.project == 2
+
+    def test_submit_rebasing(self, swf_path):
+        jobs = load_swf(swf_path)
+        assert [j.submit_time for j in jobs] == [0.0, 100.0, 300.0]
+
+    def test_cores_per_node_division(self, swf_path):
+        jobs = load_swf(swf_path, cores_per_node=64)
+        assert jobs[0].size == 1
+        assert jobs[1].size == 2
+
+    def test_missing_estimate_falls_back_to_runtime(self, swf_path):
+        jobs = load_swf(swf_path)
+        j4 = [j for j in jobs if j.runtime == 900.0][0]
+        assert j4.estimate == 900.0
+
+    def test_max_jobs(self, swf_path):
+        assert len(load_swf(swf_path, max_jobs=1)) == 1
+
+    def test_short_line_rejected(self, tmp_path):
+        p = tmp_path / "bad.swf"
+        p.write_text("1 2 3\n")
+        with pytest.raises(ConfigurationError):
+            load_swf(str(p))
+
+
+class TestRetype:
+    def test_retype_produces_all_classes(self, swf_path):
+        jobs = load_swf(swf_path)
+        rng = np.random.default_rng(0)
+        out = retype_jobs(
+            jobs,
+            frac_projects_ondemand=0.4,
+            frac_projects_rigid=0.3,
+            notice_mix=W5,
+            rng=rng,
+            system_size=1000,
+        )
+        assert len(out) == len(jobs)
+        types = {j.job_type for j in out}
+        assert JobType.MALLEABLE in types or JobType.ONDEMAND in types
+
+    def test_retype_preserves_shapes(self, swf_path):
+        jobs = load_swf(swf_path)
+        rng = np.random.default_rng(0)
+        out = retype_jobs(jobs, 0.0, 1.0, W5, rng, system_size=1000)
+        assert all(j.job_type is JobType.RIGID for j in out)
+        assert sorted(j.runtime for j in out) == sorted(j.runtime for j in jobs)
+
+    def test_retype_malleable_fields(self, swf_path):
+        jobs = load_swf(swf_path)
+        rng = np.random.default_rng(1)
+        out = retype_jobs(jobs, 0.0, 0.0, W5, rng, system_size=1000)
+        for j in out:
+            assert j.job_type is JobType.MALLEABLE
+            assert j.min_size == max(1, int(np.ceil(0.2 * j.size)))
+
+    def test_retype_ondemand_notice_fields(self, swf_path):
+        jobs = load_swf(swf_path)
+        rng = np.random.default_rng(2)
+        out = retype_jobs(jobs, 1.0, 0.0, W5, rng, system_size=1000)
+        for j in out:
+            assert j.job_type is JobType.ONDEMAND
+            if j.notice_class is not NoticeClass.NONE:
+                assert j.notice_time is not None

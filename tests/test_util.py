@@ -1,0 +1,103 @@
+"""Unit tests for repro.util: RNG streams, time helpers, errors."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    RngStreams,
+    SimulationError,
+    format_duration,
+)
+
+
+class TestRngStreams:
+    def test_same_seed_same_streams(self):
+        a = RngStreams(42).get("arrivals").random(10)
+        b = RngStreams(42).get("arrivals").random(10)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("arrivals").random(10)
+        b = RngStreams(2).get("arrivals").random(10)
+        assert not np.allclose(a, b)
+
+    def test_streams_are_independent_by_name(self):
+        s = RngStreams(7)
+        a = s.get("a").random(10)
+        b = s.get("b").random(10)
+        assert not np.allclose(a, b)
+
+    def test_stream_is_singleton(self):
+        s = RngStreams(7)
+        assert s.get("x") is s.get("x")
+
+    def test_order_independence(self):
+        """Requesting streams in different orders yields identical draws."""
+        s1 = RngStreams(9)
+        _ = s1.get("first").random(5)
+        second_1 = s1.get("second").random(5)
+        s2 = RngStreams(9)
+        second_2 = s2.get("second").random(5)
+        assert np.allclose(second_1, second_2)
+
+    def test_spawn_children_differ(self):
+        parent = RngStreams(3)
+        c0 = parent.spawn(0).get("x").random(5)
+        c1 = parent.spawn(1).get("x").random(5)
+        assert not np.allclose(c0, c1)
+
+    def test_spawn_deterministic(self):
+        a = RngStreams(3).spawn(4).get("x").random(5)
+        b = RngStreams(3).spawn(4).get("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(3).spawn(-1)
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngStreams(1.5)  # type: ignore[arg-type]
+
+    def test_seed_property_and_names(self):
+        s = RngStreams(11)
+        s.get("zeta")
+        s.get("alpha")
+        assert s.seed == 11
+        assert list(s.names()) == ["alpha", "zeta"]
+
+
+class TestTimeConstants:
+    def test_relations(self):
+        assert MINUTE == 60
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (45, "45s"),
+            (0, "0s"),
+            (90, "1m30s"),
+            (3660, "1h01m"),
+            (86400 + 3600, "1d01h"),
+            (-45, "-45s"),
+        ],
+    )
+    def test_format_duration(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(SimulationError, ReproError)
+        assert issubclass(InvariantViolation, SimulationError)

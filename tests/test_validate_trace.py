@@ -1,0 +1,103 @@
+"""Tests for the trace linter."""
+
+import pytest
+
+from repro.jobs.job import Job, JobType, NoticeClass
+from repro.workload.spec import theta_spec
+from repro.workload.theta import generate_trace
+from repro.workload.validate import Finding, assert_valid, validate_trace
+
+
+def rigid(job_id, submit=0.0, size=10, runtime=100.0, estimate=None):
+    return Job(
+        job_id=job_id,
+        job_type=JobType.RIGID,
+        submit_time=submit,
+        size=size,
+        runtime=runtime,
+        estimate=estimate or runtime,
+    )
+
+
+class TestErrors:
+    def test_duplicate_ids(self):
+        out = validate_trace([rigid(1), rigid(1, submit=1.0)], 100)
+        assert any("duplicate" in f.message for f in out)
+        assert out[0].severity == "error"
+
+    def test_oversized_job(self):
+        out = validate_trace([rigid(1, size=200)], 100)
+        assert any("200 nodes" in f.message for f in out)
+
+    def test_clean_trace_has_no_errors(self):
+        out = validate_trace(
+            [rigid(1), rigid(2, submit=5.0, estimate=200.0)],
+            100,
+            errors_only=True,
+        )
+        assert out == []
+
+    def test_assert_valid_raises_with_listing(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            assert_valid([rigid(1), rigid(1, submit=1.0)], 100)
+
+    def test_assert_valid_passes_clean(self):
+        assert_valid([rigid(1, estimate=150.0)], 100)
+
+
+class TestWarnings:
+    def test_unsorted_trace(self):
+        out = validate_trace(
+            [rigid(1, submit=10.0), rigid(2, submit=5.0)], 100
+        )
+        assert any("not sorted" in f.message for f in out)
+
+    def test_exact_estimates_flagged(self):
+        out = validate_trace([rigid(i) for i in range(10)], 100)
+        assert any("estimates equal the runtime" in f.message for f in out)
+
+    def test_unshrinkable_malleable(self):
+        j = Job(
+            job_id=1,
+            job_type=JobType.MALLEABLE,
+            submit_time=0.0,
+            size=10,
+            min_size=10,
+            runtime=100.0,
+            estimate=150.0,
+        )
+        out = validate_trace([j], 100)
+        assert any("cannot shrink" in f.message for f in out)
+
+    def test_wide_ondemand(self):
+        j = Job(
+            job_id=1,
+            job_type=JobType.ONDEMAND,
+            submit_time=0.0,
+            size=60,
+            runtime=100.0,
+            estimate=150.0,
+        )
+        out = validate_trace([j], 100)
+        assert any("half the machine" in f.message for f in out)
+
+    def test_errors_only_hides_warnings(self):
+        out = validate_trace(
+            [rigid(1, submit=10.0), rigid(2, submit=5.0)],
+            100,
+            errors_only=True,
+        )
+        assert out == []
+
+    def test_finding_str(self):
+        f = Finding("warning", 3, "something odd")
+        assert str(f) == "[warning] job 3: something odd"
+        assert str(Finding("error", -1, "x")) == "[error] trace: x"
+
+
+class TestGeneratedTracesAreClean:
+    def test_generator_output_has_no_errors(self):
+        spec = theta_spec(days=3, target_load=0.6)
+        jobs = generate_trace(spec, seed=1)
+        errors = validate_trace(jobs, spec.system_size, errors_only=True)
+        assert errors == []

@@ -1,0 +1,332 @@
+"""Tests for the synthetic Theta workload generator and trace utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.jobs.job import JobType, NoticeClass
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStreams
+from repro.util.timeconst import DAY, HOUR, MINUTE
+from repro.workload.ondemand import (
+    burstiness_cv,
+    derive_arrival,
+    notice_class_shares,
+    ondemand_jobs_per_week,
+)
+from repro.workload.projects import assign_project_types, zipf_weights
+from repro.workload.spec import (
+    NOTICE_MIXES,
+    NoticeMix,
+    W1,
+    W2,
+    W4,
+    W5,
+    WorkloadSpec,
+    theta_spec,
+)
+from repro.workload.theta import generate_trace
+from repro.workload.trace import (
+    characterize_sizes,
+    clone_jobs,
+    load_trace_csv,
+    offered_load,
+    save_trace_csv,
+    table1_summary,
+    type_shares,
+)
+
+
+SPEC = theta_spec(days=14, target_load=0.9)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SPEC, seed=7)
+
+
+class TestSpecValidation:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            NoticeMix("bad", 0.5, 0.5, 0.5, 0.5)
+
+    def test_mix_no_negative(self):
+        with pytest.raises(ConfigurationError):
+            NoticeMix("bad", -0.5, 0.5, 0.5, 0.5)
+
+    def test_table3_mixes(self):
+        assert W1.none == 0.70 and W1.accurate == 0.10
+        assert W2.accurate == 0.70
+        assert W4.late == 0.70
+        assert W5.as_tuple() == (0.25, 0.25, 0.25, 0.25)
+        assert set(NOTICE_MIXES) == {"W1", "W2", "W3", "W4", "W5"}
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"system_size": 0},
+            {"days": 0},
+            {"target_load": 0.0},
+            {"target_load": 3.0},
+            {"min_size": 0},
+            {"min_size": 10000},
+            {"n_projects": 0},
+            {"frac_projects_ondemand": 0.8, "frac_projects_rigid": 0.5},
+            {"malleable_min_size_frac": 0.0},
+            {"size_bucket_weights": (0.5, 0.5)},
+            {"notice_lead_range_s": (100.0, 50.0)},
+        ],
+    )
+    def test_invalid_specs(self, kw):
+        with pytest.raises(ConfigurationError):
+            theta_spec(**kw)
+
+    def test_with_notice_mix(self):
+        assert SPEC.with_notice_mix(W2).notice_mix is W2
+        assert SPEC.notice_mix is W5  # original untouched
+
+
+class TestGeneratorStatistics:
+    def test_deterministic(self):
+        a = generate_trace(SPEC, seed=3)
+        b = generate_trace(SPEC, seed=3)
+        assert len(a) == len(b)
+        assert all(
+            x.submit_time == y.submit_time and x.size == y.size
+            for x, y in zip(a, b)
+        )
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(SPEC, seed=3)
+        b = generate_trace(SPEC, seed=4)
+        assert any(
+            x.submit_time != y.submit_time for x, y in zip(a, b)
+        ) or len(a) != len(b)
+
+    def test_offered_load_near_target(self, trace):
+        load = offered_load(trace, SPEC.system_size, SPEC.horizon_s)
+        assert load == pytest.approx(SPEC.target_load, rel=0.1)
+
+    def test_sizes_within_bounds(self, trace):
+        assert all(SPEC.min_size <= j.size <= SPEC.system_size for j in trace)
+
+    def test_runtimes_within_bounds(self, trace):
+        assert all(
+            SPEC.min_runtime_s <= j.runtime <= SPEC.max_runtime_s for j in trace
+        )
+
+    def test_estimates_dominate_runtimes(self, trace):
+        assert all(j.estimate >= j.runtime for j in trace)
+
+    def test_estimates_rounded(self, trace):
+        gran = SPEC.estimate_granularity_s
+        assert all(abs(j.estimate % gran) < 1e-6 for j in trace)
+
+    def test_submit_times_sorted_within_horizon(self, trace):
+        times = [j.submit_time for j in trace]
+        assert times == sorted(times)
+        # only LATE on-demand arrivals may exceed the horizon slightly
+        for j in trace:
+            if not (j.is_ondemand and j.notice_class is NoticeClass.LATE):
+                assert 0 <= j.submit_time <= SPEC.horizon_s
+
+    def test_job_count_scales_with_horizon(self):
+        short = generate_trace(theta_spec(days=7, target_load=0.9), seed=1)
+        long = generate_trace(theta_spec(days=21, target_load=0.9), seed=1)
+        assert 2.0 < len(long) / len(short) < 4.5
+
+    def test_theta_scale_job_count(self):
+        """At the paper's defaults, the yearly job count lands near 37.3k."""
+        jobs = generate_trace(theta_spec(days=14), seed=0)
+        yearly = len(jobs) * 365 / 14
+        assert 20_000 < yearly < 60_000
+
+    def test_size_mix_small_jobs_dominate_counts(self, trace):
+        buckets = characterize_sizes(trace, SPEC.size_bucket_edges)
+        counts = [b[1] for b in buckets]
+        assert counts[0] == max(counts)
+        assert counts[0] > 0.4 * sum(counts)
+
+    def test_size_mix_large_jobs_dominate_core_hours(self, trace):
+        """Fig. 3's contrast: most jobs are small, but big jobs burn a
+        disproportionate share of core-hours."""
+        buckets = characterize_sizes(trace, SPEC.size_bucket_edges)
+        total_jobs = sum(b[1] for b in buckets)
+        total_ch = sum(b[2] for b in buckets)
+        top = buckets[-2:]  # >=1024 nodes
+        job_share = sum(b[1] for b in top) / total_jobs
+        ch_share = sum(b[2] for b in top) / total_ch
+        assert ch_share > 2 * job_share
+
+
+class TestTypeAssignment:
+    def test_types_constant_within_project(self, trace):
+        seen = {}
+        for j in trace:
+            if j.size > SPEC.ondemand_max_size_frac * SPEC.system_size:
+                continue  # large on-demand jobs are reassigned
+            seen.setdefault(j.project, set()).add(j.job_type)
+        # projects containing a reassigned large job may show two types;
+        # everyone else must be uniform
+        uniform = [p for p, types in seen.items() if len(types) == 1]
+        assert len(uniform) >= 0.9 * len(seen)
+
+    def test_no_oversized_ondemand(self, trace):
+        limit = SPEC.ondemand_max_size_frac * SPEC.system_size
+        assert all(
+            j.size <= limit for j in trace if j.job_type is JobType.ONDEMAND
+        )
+
+    def test_all_three_types_present(self, trace):
+        shares = type_shares(trace)
+        assert shares["rigid"] > 0.3
+        assert shares["malleable"] > 0.05
+        assert 0.0 < shares["ondemand"] < 0.4
+
+    def test_malleable_min_sizes(self, trace):
+        for j in trace:
+            if j.job_type is JobType.MALLEABLE:
+                assert j.min_size == max(
+                    1, math.ceil(SPEC.malleable_min_size_frac * j.size)
+                )
+
+    def test_setup_overheads_in_range(self, trace):
+        for j in trace:
+            frac = j.setup_time / j.runtime
+            if j.job_type is JobType.RIGID:
+                assert 0.05 - 1e-9 <= frac <= 0.10 + 1e-9
+            elif j.job_type is JobType.MALLEABLE:
+                assert 0.0 <= frac <= 0.05 + 1e-9
+            else:
+                assert j.setup_time == 0.0
+
+    def test_assign_project_types_fractions(self):
+        rng = np.random.default_rng(0)
+        types = assign_project_types(200, 0.10, 0.60, rng)
+        counts = {t: sum(1 for v in types.values() if v is t) for t in JobType}
+        assert counts[JobType.ONDEMAND] == 20
+        assert counts[JobType.RIGID] == 120
+        assert counts[JobType.MALLEABLE] == 60
+
+    def test_assign_project_types_at_least_one(self):
+        rng = np.random.default_rng(0)
+        types = assign_project_types(11, 0.01, 0.5, rng)
+        assert sum(1 for v in types.values() if v is JobType.ONDEMAND) >= 1
+
+    def test_zipf_weights_normalised_and_skewed(self):
+        rng = np.random.default_rng(0)
+        w = zipf_weights(100, 1.4, rng)
+        assert w.sum() == pytest.approx(1.0)
+        assert w.max() > 10 * np.median(w)
+
+
+class TestNoticeClasses:
+    def test_mix_shares_respected(self):
+        spec = theta_spec(days=60, target_load=0.5, notice_mix=W1)
+        jobs = generate_trace(spec, seed=5)
+        shares = notice_class_shares(jobs)
+        if sum(shares.values()) > 0:
+            assert shares["none"] > 0.45  # 70% nominal, small-sample slack
+
+    def test_accurate_arrival_equals_estimate(self, trace):
+        for j in trace:
+            if j.notice_class is NoticeClass.ACCURATE:
+                assert j.submit_time == pytest.approx(j.estimated_arrival)
+
+    def test_early_arrival_between_notice_and_estimate(self, trace):
+        for j in trace:
+            if j.notice_class is NoticeClass.EARLY:
+                assert j.notice_time - 1e-9 <= j.submit_time <= j.estimated_arrival
+
+    def test_late_arrival_within_window(self, trace):
+        for j in trace:
+            if j.notice_class is NoticeClass.LATE:
+                assert (
+                    j.estimated_arrival
+                    <= j.submit_time
+                    <= j.estimated_arrival + SPEC.late_window_s + 1e-9
+                )
+
+    def test_notice_lead_range(self, trace):
+        lo, hi = SPEC.notice_lead_range_s
+        for j in trace:
+            if j.notice_time is not None and j.notice_time > 0:
+                lead = j.estimated_arrival - j.notice_time
+                assert lo - 1e-6 <= lead <= hi + 1e-6
+
+    def test_derive_arrival_none(self):
+        rng = np.random.default_rng(0)
+        actual, notice, est = derive_arrival(
+            500.0, NoticeClass.NONE, rng, (900.0, 1800.0), 1800.0
+        )
+        assert (actual, notice, est) == (500.0, None, None)
+
+    def test_derive_arrival_notice_clamped_at_zero(self):
+        rng = np.random.default_rng(0)
+        _, notice, _ = derive_arrival(
+            60.0, NoticeClass.ACCURATE, rng, (900.0, 1800.0), 1800.0
+        )
+        assert notice == 0.0
+
+
+class TestBurstiness:
+    def test_weekly_counts_cover_horizon(self, trace):
+        counts = ondemand_jobs_per_week(trace, SPEC.horizon_s)
+        assert len(counts) == 2  # 14 days
+        assert sum(counts) == sum(1 for j in trace if j.is_ondemand)
+
+    def test_bursty_pattern(self):
+        """Fig. 5: weekly on-demand counts swing heavily across weeks."""
+        spec = theta_spec(days=91, target_load=0.7)
+        jobs = generate_trace(spec, seed=2)
+        counts = ondemand_jobs_per_week(jobs, spec.horizon_s)
+        assert burstiness_cv(counts) > 0.4
+
+    def test_cv_empty(self):
+        assert burstiness_cv([]) == 0.0
+        assert burstiness_cv([0, 0]) == 0.0
+
+
+class TestTraceUtilities:
+    def test_clone_jobs_fresh_state(self, trace):
+        clones = clone_jobs(trace)
+        assert len(clones) == len(trace)
+        assert clones[0] is not trace[0]
+        assert clones[0].stats is not trace[0].stats
+        assert clones[0].submit_time == trace[0].submit_time
+
+    def test_csv_roundtrip(self, trace, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert a.job_id == b.job_id
+            assert a.job_type == b.job_type
+            assert a.submit_time == b.submit_time
+            assert a.runtime == b.runtime
+            assert a.min_size == b.min_size
+            assert a.notice_class == b.notice_class
+            assert a.notice_time == b.notice_time
+
+    def test_csv_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ConfigurationError):
+            load_trace_csv(str(path))
+
+    def test_table1_summary(self, trace):
+        s = table1_summary(trace, SPEC.system_size)
+        assert s["compute_nodes"] == 4392
+        assert s["number_of_jobs"] == len(trace)
+        assert s["min_job_size"] >= 128
+        assert s["max_job_length_h"] <= 24.0
+        assert s["number_of_projects"] <= SPEC.n_projects
+
+    def test_table1_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table1_summary([], 100)
+
+    def test_offered_load_empty(self):
+        assert offered_load([], 100) == 0.0
