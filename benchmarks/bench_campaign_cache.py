@@ -1,0 +1,70 @@
+"""Campaign result-store effectiveness: warm re-runs must be >=10x cold.
+
+A campaign's second, identical invocation should do no simulation work
+at all — every cell is a content-addressed cache hit served from the
+JSONL store. This benchmark runs a small (mechanism x seed) grid cold,
+re-runs it warm against the same directory, and asserts the speedup the
+README/ISSUE promise. Resume-after-interruption is exercised too, by
+truncating the store and re-running only the lost half.
+"""
+
+import shutil
+import time
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+
+from conftest import OUT_DIR, bench_days, bench_workers
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec.from_dict(
+        {
+            "name": "bench-cache",
+            "days": min(bench_days(), 7.0),
+            "target_load": 0.7,
+            "system_size": 1024,
+            "mechanism": [None, "N&PAA", "CUA&SPAA"],
+            "seeds": [1, 2],
+        }
+    )
+
+
+def test_campaign_cache(benchmark, emit):
+    directory = OUT_DIR / "campaign_cache"
+    shutil.rmtree(directory, ignore_errors=True)
+    spec = _spec()
+    workers = bench_workers()
+
+    t0 = time.perf_counter()
+    cold = run_campaign(spec, directory=directory, workers=workers)
+    cold_s = time.perf_counter() - t0
+    assert cold.n_ran == cold.n_total and cold.n_failed == 0
+
+    warm = benchmark.pedantic(
+        lambda: run_campaign(spec, directory=directory, workers=workers),
+        rounds=3,
+        iterations=1,
+    )
+    assert warm.n_cached == warm.n_total and warm.n_ran == 0
+
+    t0 = time.perf_counter()
+    run_campaign(spec, directory=directory, workers=workers)
+    warm_s = max(time.perf_counter() - t0, 1e-9)
+
+    # interruption: drop half the store, the re-run completes only the rest
+    results = ResultStore(directory).results_path
+    lines = results.read_text().splitlines()
+    results.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+    resumed = run_campaign(spec, directory=directory, workers=workers)
+    assert resumed.n_cached == len(lines) // 2
+    assert resumed.n_ran == resumed.n_total - len(lines) // 2
+
+    speedup = cold_s / warm_s
+    emit(
+        "campaign_cache",
+        f"campaign cache: {cold.n_total} cells cold {cold_s:.2f}s, "
+        f"warm {warm_s:.3f}s -> {speedup:.0f}x speedup\n"
+        f"resume: {resumed.n_ran} of {resumed.n_total} cells re-run "
+        f"after losing half the store",
+    )
+    assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster"

@@ -1,0 +1,51 @@
+"""Campaign engine: declarative scenario grids with a durable result store.
+
+The paper's exhibits are each a hand-rolled grid of (workload mix x
+mechanism x seed) cells; this package makes the *campaign* — not the
+single run — the first-class object:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` declares the axes
+  and expands them into content-addressed :class:`CampaignCell` s;
+* :mod:`repro.campaign.store` — :class:`ResultStore` persists one
+  strict-JSON record per cell, keyed by config hash, so identical cells
+  are never recomputed and interrupted campaigns resume;
+* :mod:`repro.campaign.executor` — :func:`run_campaign` fans missing
+  cells out over a process pool with per-cell failure capture;
+* :mod:`repro.campaign.report` — grouped pivots over one campaign and
+  cell-matched diffs between two.
+
+CLI: ``repro-hybrid campaign run|status|report``.
+"""
+
+from repro.campaign.executor import (
+    CampaignRunResult,
+    execute_cell,
+    run_campaign,
+)
+from repro.campaign.report import (
+    DEFAULT_GROUP_BY,
+    DEFAULT_METRICS,
+    diff_text,
+    load_campaign,
+    report_text,
+    status_text,
+)
+from repro.campaign.spec import CampaignCell, CampaignSpec, canonical_json
+from repro.campaign.store import CellRecord, ResultStore
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "CampaignRunResult",
+    "CellRecord",
+    "ResultStore",
+    "canonical_json",
+    "execute_cell",
+    "run_campaign",
+    "load_campaign",
+    "report_text",
+    "status_text",
+    "diff_text",
+    "DEFAULT_GROUP_BY",
+    "DEFAULT_METRICS",
+]

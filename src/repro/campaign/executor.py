@@ -1,0 +1,211 @@
+"""Campaign execution: expand, skip cached cells, fan out the rest.
+
+The executor is deliberately thin glue over pieces that already exist:
+cell simulation is :func:`repro.experiments.runner.run_one`, parallelism
+is a ``ProcessPoolExecutor`` (``submit``/``as_completed``, so finished
+cells persist immediately regardless of order), and persistence is the
+append-only :class:`ResultStore`.  What it adds is the campaign
+contract:
+
+* every cell is looked up by content address first — completed cells
+  are never recomputed, so an identical second run is pure cache hits
+  and an interrupted run resumes where it left off;
+* one failed cell never kills the campaign — the worker captures the
+  traceback into an ``error`` record (itself persisted, so failures are
+  inspectable and retriable);
+* records are persisted as they stream back from the pool, not at the
+  end, so a kill -9 loses at most the cells in flight.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import CellRecord, ResultStore
+from repro.experiments.runner import run_one
+from repro.workload.ondemand import burstiness_cv, ondemand_jobs_per_week
+from repro.workload.theta import generate_trace
+from repro.workload.trace import type_shares
+
+
+def _trace_payload(cell: CampaignCell) -> Dict[str, object]:
+    """Trace-characterization cells: workload statistics, no simulation."""
+    spec = cell.workload_spec()
+    jobs = generate_trace(spec, seed=cell.seed)
+    weekly = ondemand_jobs_per_week(jobs, spec.horizon_s)
+    return {
+        "n_jobs": len(jobs),
+        "type_shares": type_shares(jobs),
+        "weekly_ondemand": list(weekly),
+        "burstiness_cv": burstiness_cv(weekly),
+    }
+
+
+def execute_cell(config: Mapping[str, object]) -> CellRecord:
+    """Run one cell from its canonical config; never raises.
+
+    Takes the plain config dict (not the dataclass) so the worker side
+    depends only on JSON-shaped data — the same record shape the store
+    persists.
+    """
+    cell = CampaignCell.from_config(config)
+    key = cell.key()
+    start = time.perf_counter()
+    try:
+        if cell.kind == "trace":
+            payload, summary = _trace_payload(cell), None
+        else:
+            metrics = run_one(
+                cell.workload_spec(),
+                cell.seed,
+                cell.mechanism_obj(),
+                cell.sim_config(),
+            )
+            payload, summary = None, metrics.to_dict()
+    except Exception:
+        return CellRecord(
+            key=key,
+            config=cell.config(),
+            status="error",
+            error=traceback.format_exc(),
+            elapsed_s=time.perf_counter() - start,
+        )
+    return CellRecord(
+        key=key,
+        config=cell.config(),
+        status="ok",
+        summary=summary,
+        payload=payload,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignRunResult:
+    """Outcome of one ``run_campaign`` invocation."""
+
+    spec: CampaignSpec
+    #: records for every cell of the grid, in expansion order
+    records: List[CellRecord]
+    n_total: int
+    n_cached: int
+    n_ran: int
+    n_failed: int
+
+    @property
+    def ok_records(self) -> List[CellRecord]:
+        return [r for r in self.records if r.ok]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    directory: Optional[str] = None,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    retry_failed: bool = False,
+    allow_spec_update: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignRunResult:
+    """Execute every not-yet-computed cell of *spec*.
+
+    Parameters
+    ----------
+    directory:
+        Campaign directory for the persistent store; ``None`` (and no
+        *store*) runs fully in memory.
+    store:
+        An explicit store, overriding *directory*.
+    workers:
+        Worker processes; 1 runs serially (deterministic order).
+    retry_failed:
+        Re-run cells whose stored status is ``error`` instead of
+        keeping the failure record.
+    allow_spec_update:
+        Let *spec* replace a different spec already recorded in the
+        directory — growing a campaign in place (extra seeds,
+        mechanisms, ...) while reusing every already-computed cell.
+    progress:
+        Optional callback receiving one human-readable line per event.
+    """
+    say = progress or (lambda _msg: None)
+    if store is None:
+        # a campaign that owns its directory records its spec there (and
+        # refuses a directory already owned by a different campaign); an
+        # explicitly shared store skips that guard so many campaigns can
+        # pool content-addressed cells
+        store = ResultStore(directory)
+        store.write_spec(spec.to_dict(), overwrite=allow_spec_update)
+
+    cells = spec.expand()
+    by_key = {c.key(): c for c in cells}
+    done = store.completed_keys()
+    if retry_failed:
+        store.drop(store.failed_keys() & set(by_key))
+    # dedup by content address: a grid that names the same cell twice
+    # (repeated seed, 'all+baseline baseline') still runs it once
+    todo: List[CampaignCell] = []
+    seen = set()
+    for cell in cells:
+        key = cell.key()
+        if key not in store and key not in seen:
+            todo.append(cell)
+            seen.add(key)
+    n_cached = sum(1 for key in by_key if key in done)
+    say(
+        f"campaign {spec.name!r}: {len(by_key)} cells "
+        f"({n_cached} cached, {len(todo)} to run)"
+    )
+
+    if todo:
+        if workers <= 1:
+            for cell in todo:
+                record = execute_cell(cell.config())
+                store.put(record)
+                say(_cell_line(record, by_key[record.key]))
+        else:
+            # submit + as_completed (not pool.map): records persist the
+            # moment each cell finishes, in any order, so a kill loses
+            # only cells actually in flight — map's ordered stream would
+            # buffer completed cells behind a slow head-of-line cell
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(execute_cell, c.config()) for c in todo
+                ]
+                for future in as_completed(futures):
+                    record = future.result()
+                    store.put(record)
+                    say(_cell_line(record, by_key[record.key]))
+
+    # one record per unique cell, in first-occurrence expansion order
+    records = [store.get(key) for key in by_key]
+    missing = sum(1 for r in records if r is None)
+    if missing:  # pragma: no cover - store.put above guarantees presence
+        raise RuntimeError(f"{missing} cells missing after execution")
+    final = [r for r in records if r is not None]
+    return CampaignRunResult(
+        spec=spec,
+        records=final,
+        n_total=len(by_key),
+        n_cached=n_cached,
+        n_ran=len(todo),
+        n_failed=sum(1 for r in final if not r.ok),
+    )
+
+
+def _cell_line(record: CellRecord, cell: CampaignCell) -> str:
+    tag = "ok" if record.ok else "FAILED"
+    mech = cell.mechanism or "baseline"
+    mix = (
+        cell.notice_mix
+        if isinstance(cell.notice_mix, str)
+        else cell.notice_mix.get("name", "?")
+    )
+    return (
+        f"  [{tag}] {record.key} {mech} mix={mix} seed={cell.seed} "
+        f"({record.elapsed_s:.2f}s)"
+    )

@@ -1,0 +1,225 @@
+"""Campaign reporting: status, grouped pivots, and campaign diffs.
+
+All functions work on stored :class:`CellRecord` lists, so they can
+render a campaign that is still running, fully cached, or loaded from a
+directory produced on another machine.  Seeds are always the replication
+axis: summaries are averaged over seeds within each group.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.spec import CampaignSpec, canonical_json
+from repro.campaign.store import CellRecord, ResultStore
+from repro.metrics.report import format_table
+from repro.metrics.summary import SummaryMetrics, average_summaries
+
+#: default pivot columns for ``campaign report``
+DEFAULT_GROUP_BY: Tuple[str, ...] = ("notice_mix", "mechanism")
+
+#: default metric columns (the paper's headline four)
+DEFAULT_METRICS: Tuple[str, ...] = (
+    "avg_turnaround_h",
+    "system_utilization",
+    "instant_start_rate",
+    "preemption_ratio_rigid",
+    "preemption_ratio_malleable",
+)
+
+
+def load_campaign(directory: str) -> Tuple[Optional[Dict], List[CellRecord]]:
+    """Read a campaign directory: (spec dict or None, records)."""
+    store = ResultStore(directory)
+    return store.read_spec(), store.records()
+
+
+def _group_value(config: Mapping[str, object], field: str) -> object:
+    value = config.get(field)
+    if field == "mechanism" and value is None:
+        return "baseline"
+    if field == "notice_mix" and isinstance(value, dict):
+        return value.get("name", canonical_json(value))
+    return value
+
+
+def group_records(
+    records: Sequence[CellRecord],
+    by: Sequence[str] = DEFAULT_GROUP_BY,
+) -> "OrderedDict[Tuple[object, ...], List[CellRecord]]":
+    """Group ok-records by config fields, preserving first-seen order."""
+    groups: "OrderedDict[Tuple[object, ...], List[CellRecord]]" = OrderedDict()
+    for record in records:
+        if not record.ok or record.summary is None:
+            continue
+        key = tuple(_group_value(record.config, f) for f in by)
+        groups.setdefault(key, []).append(record)
+    return groups
+
+
+def _averaged(
+    groups: "OrderedDict[Tuple[object, ...], List[CellRecord]]",
+) -> "OrderedDict[Tuple[object, ...], SummaryMetrics]":
+    return OrderedDict(
+        (key, average_summaries([r.summary_metrics() for r in recs]))
+        for key, recs in groups.items()
+    )
+
+
+def status_text(
+    spec_dict: Optional[Mapping[str, object]],
+    records: Sequence[CellRecord],
+) -> str:
+    """Render ``campaign status``: progress against the stored spec."""
+    n_ok = sum(1 for r in records if r.ok)
+    n_err = len(records) - n_ok
+    lines: List[str] = []
+    if spec_dict is not None:
+        spec = CampaignSpec.from_dict(spec_dict)
+        keys = {c.key() for c in spec.expand()}
+        # count against this spec's cells only — the store may also hold
+        # records from a pre---grow spec or a shared cell pool
+        done = sum(1 for r in records if r.ok and r.key in keys)
+        failed = sum(1 for r in records if not r.ok and r.key in keys)
+        lines.append(
+            f"campaign {spec.name!r}: {done}/{len(keys)} cells done, "
+            f"{failed} failed, {len(keys) - done - failed} pending"
+        )
+    else:
+        lines.append(f"{n_ok} ok / {n_err} failed records (no campaign.json)")
+    elapsed = sum(r.elapsed_s for r in records)
+    lines.append(f"stored records: {len(records)} ({elapsed:.1f}s compute)")
+    for r in records:
+        if not r.ok:
+            first = (r.error or "").strip().splitlines()
+            lines.append(f"  FAILED {r.key}: {first[-1] if first else '?'}")
+    return "\n".join(lines)
+
+
+def report_text(
+    records: Sequence[CellRecord],
+    by: Sequence[str] = DEFAULT_GROUP_BY,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    title: Optional[str] = None,
+) -> str:
+    """Pivot table: one row per group, averaged over seeds."""
+    raw = group_records(records, by)
+    if not raw:
+        return "(no completed simulation cells)"
+    headers = [*by, "cells", *metrics]
+    rows = []
+    for key, summary in _averaged(raw).items():
+        d = summary.as_dict()
+        rows.append([*key, len(raw[key]), *(d[m] for m in metrics)])
+    return format_table(headers, rows, title=title)
+
+
+def diff_text(
+    a_records: Sequence[CellRecord],
+    b_records: Sequence[CellRecord],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    a_name: str = "A",
+    b_name: str = "B",
+) -> str:
+    """Cell-matched diff between two campaigns.
+
+    Cells are joined on their full config *minus* the seed and minus any
+    field whose value set differs between the two campaigns (e.g. the
+    ``backfill_mode`` axis when diffing easy vs conservative) — those
+    fields are what the diff is *about*, everything else must match.
+    """
+    a_groups = _config_groups(a_records)
+    b_groups = _config_groups(b_records)
+
+    varying = _varying_fields(a_records, b_records)
+    join = ("seed", *varying)
+
+    a_joined = _joined(a_groups, join)
+    b_joined = _joined(b_groups, join)
+    shared = [k for k in a_joined if k in b_joined]
+    if not shared:
+        return "(campaigns share no comparable cells)"
+
+    header_note = (
+        f"diff {a_name} vs {b_name}"
+        + (f" (varying: {', '.join(sorted(varying))})" if varying else "")
+    )
+    headers = ["cell", "metric", a_name, b_name, "delta"]
+    rows: List[List[object]] = []
+    for key in shared:
+        s_a = average_summaries(a_joined[key])
+        s_b = average_summaries(b_joined[key])
+        d_a, d_b = s_a.as_dict(), s_b.as_dict()
+        label = _short_label(key)
+        for metric in metrics:
+            va, vb = d_a[metric], d_b[metric]
+            delta = (
+                float(vb) - float(va)
+                if isinstance(va, (int, float)) and isinstance(vb, (int, float))
+                else ""
+            )
+            rows.append([label, metric, va, vb, delta])
+            label = ""  # print the cell label once per block
+    return format_table(headers, rows, title=header_note)
+
+
+def _config_groups(
+    records: Sequence[CellRecord],
+) -> List[Tuple[Dict[str, object], SummaryMetrics]]:
+    out = []
+    for r in records:
+        if r.ok and r.summary is not None:
+            out.append((dict(r.config), r.summary_metrics()))
+    return out
+
+
+def _varying_fields(
+    a_records: Sequence[CellRecord], b_records: Sequence[CellRecord]
+) -> Tuple[str, ...]:
+    """Config fields whose value sets differ between the two campaigns."""
+
+    def value_set(records: Sequence[CellRecord], field: str) -> frozenset:
+        return frozenset(
+            canonical_json(r.config.get(field)) for r in records if r.ok
+        )
+
+    fields: List[str] = []
+    sample = next((r for r in a_records if r.ok), None)
+    if sample is None:
+        return ()
+    for field in sample.config:
+        if field == "seed":
+            continue
+        if value_set(a_records, field) != value_set(b_records, field):
+            fields.append(field)
+    return tuple(fields)
+
+
+def _joined(
+    groups: List[Tuple[Dict[str, object], SummaryMetrics]],
+    drop: Sequence[str],
+) -> "OrderedDict[str, List[SummaryMetrics]]":
+    joined: "OrderedDict[str, List[SummaryMetrics]]" = OrderedDict()
+    for config, summary in groups:
+        key_cfg = {k: v for k, v in config.items() if k not in drop}
+        joined.setdefault(canonical_json(key_cfg), []).append(summary)
+    return joined
+
+
+def _short_label(join_key: str) -> str:
+    """Compress a canonical join-key JSON into a readable cell label."""
+    import json
+
+    cfg = json.loads(join_key)
+    mech = cfg.get("mechanism")
+    mix = cfg.get("notice_mix")
+    if isinstance(mix, dict):
+        mix = mix.get("name", "?")
+    parts = [str(mech) if mech else "baseline"]
+    if mix is not None:
+        parts.append(f"mix={mix}")
+    if "days" in cfg:
+        parts.append(f"d={cfg['days']:g}")
+    return " ".join(parts)

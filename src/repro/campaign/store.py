@@ -1,0 +1,209 @@
+"""Persistent, append-only campaign result store.
+
+One campaign lives in one directory::
+
+    <dir>/campaign.json    the expanded spec (for status/report/resume)
+    <dir>/results.jsonl    one strict-JSON record per completed cell
+
+Records are keyed by the cell's content address (a SHA-256 prefix of its
+canonical config), so the store is *content-addressed*: re-running a
+campaign — or a different campaign that happens to share cells — skips
+every cell whose key is already present with an ``ok`` status.  JSONL
+with append-and-flush writes means a killed run loses at most the cell
+in flight; the next run replays the file and resumes from the survivors.
+
+The format is deliberately plain (no sqlite, no schema migrations): a
+store can be inspected with ``jq``, concatenated from several partial
+runs, or rsync'd between machines without tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.metrics.summary import SummaryMetrics
+from repro.util.errors import ConfigurationError
+
+RESULTS_FILE = "results.jsonl"
+SPEC_FILE = "campaign.json"
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One stored cell outcome (simulation summary or trace stats)."""
+
+    key: str
+    config: Mapping[str, object]
+    status: str  # "ok" | "error"
+    #: SummaryMetrics.to_dict() for sim cells; None for trace cells/errors
+    summary: Optional[Mapping[str, object]] = None
+    #: extra per-cell results (trace statistics, ...)
+    payload: Optional[Mapping[str, object]] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def summary_metrics(self) -> SummaryMetrics:
+        if self.summary is None:
+            raise ValueError(f"cell {self.key} has no summary")
+        return SummaryMetrics.from_dict(dict(self.summary))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "key": self.key,
+                "config": dict(self.config),
+                "status": self.status,
+                "summary": dict(self.summary) if self.summary else None,
+                "payload": dict(self.payload) if self.payload else None,
+                "error": self.error,
+                "elapsed_s": self.elapsed_s,
+            },
+            sort_keys=True,
+            allow_nan=False,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "CellRecord":
+        data = json.loads(line)
+        return CellRecord(
+            key=data["key"],
+            config=data["config"],
+            status=data["status"],
+            summary=data.get("summary"),
+            payload=data.get("payload"),
+            error=data.get("error"),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+class ResultStore:
+    """Append-only record store, optionally backed by a directory.
+
+    With ``directory=None`` the store is purely in-memory (useful for
+    one-shot figure runs that want the campaign machinery without a
+    cache directory).
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory: Optional[Path] = (
+            Path(directory) if directory is not None else None
+        )
+        self._records: Dict[str, CellRecord] = {}
+        if self.directory is not None:
+            self._load()
+
+    def _ensure_dir(self) -> None:
+        # created lazily on first write, so read-only operations
+        # (status/report) never leave empty directories behind
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # --- persistence -------------------------------------------------------
+    @property
+    def results_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / RESULTS_FILE
+
+    @property
+    def spec_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / SPEC_FILE
+
+    def _load(self) -> None:
+        path = self.results_path
+        if path is None or not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = CellRecord.from_json(line)
+                except (json.JSONDecodeError, KeyError):
+                    # a run killed mid-write leaves at most one torn tail
+                    # line; drop it — that cell simply re-runs
+                    continue
+                self._records[record.key] = record
+
+    def write_spec(
+        self, spec_dict: Mapping[str, object], overwrite: bool = False
+    ) -> None:
+        """Persist the campaign spec; reject a conflicting existing one.
+
+        ``overwrite=True`` replaces a differing spec instead (growing a
+        campaign in place — completed cells stay valid because they are
+        keyed by content, not by spec).
+        """
+        path = self.spec_path
+        if path is None:
+            return
+        self._ensure_dir()
+        payload = json.dumps(dict(spec_dict), indent=2, sort_keys=True)
+        if path.exists() and not overwrite:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+            if existing != json.loads(payload):
+                raise ConfigurationError(
+                    f"campaign directory {self.directory} already holds a "
+                    f"different spec ({existing.get('name')!r}); re-run "
+                    "with --grow (allow_spec_update) to extend it, or use "
+                    "a fresh directory"
+                )
+            return
+        path.write_text(payload + "\n", encoding="utf-8")
+
+    def read_spec(self) -> Optional[Dict[str, object]]:
+        path = self.spec_path
+        if path is None or not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    # --- record access -----------------------------------------------------
+    def put(self, record: CellRecord) -> None:
+        """Insert a record and durably append it to the JSONL file."""
+        self._records[record.key] = record
+        path = self.results_path
+        if path is not None:
+            self._ensure_dir()
+            with path.open("a", encoding="utf-8") as fh:
+                fh.write(record.to_json() + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def get(self, key: str) -> Optional[CellRecord]:
+        return self._records.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[CellRecord]:
+        return list(self._records.values())
+
+    def completed_keys(self) -> frozenset:
+        """Keys whose cells finished successfully (cache hits)."""
+        return frozenset(k for k, r in self._records.items() if r.ok)
+
+    def failed_keys(self) -> frozenset:
+        return frozenset(k for k, r in self._records.items() if not r.ok)
+
+    def drop(self, keys: Iterable[str]) -> int:
+        """Forget records in memory (e.g. to retry failures); the JSONL
+        keeps history — last write per key wins on reload."""
+        n = 0
+        for key in list(keys):
+            if self._records.pop(key, None) is not None:
+                n += 1
+        return n

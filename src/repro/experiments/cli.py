@@ -6,11 +6,21 @@ Examples::
     repro-hybrid fig6 --days 21 --traces 2 --workers 4
     repro-hybrid fig7 --multipliers 0.5 1 2
     repro-hybrid compare --mechanisms "CUA&SPAA" "N&PAA"
+
+Campaigns (durable, resumable scenario grids)::
+
+    repro-hybrid campaign run --dir runs/grid --days 7 \\
+        --mechanisms all --seeds 1 2 3 --workers 4
+    repro-hybrid campaign run --dir runs/grid2 --spec my_campaign.json
+    repro-hybrid campaign status --dir runs/grid
+    repro-hybrid campaign report --dir runs/grid --by mechanism
+    repro-hybrid campaign report --dir runs/easy --diff runs/conservative
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -120,7 +130,192 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def make_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hybrid campaign",
+        description="Durable, resumable scenario-grid campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run (or resume) a campaign")
+    run_p.add_argument(
+        "--dir",
+        dest="directory",
+        default=None,
+        help="campaign directory (omit for an ephemeral in-memory run)",
+    )
+    run_p.add_argument(
+        "--spec",
+        default=None,
+        help="JSON campaign spec file (axes accept scalars or lists)",
+    )
+    run_p.add_argument("--name", default="campaign")
+    run_p.add_argument("--days", nargs="*", type=float, default=[28.0])
+    run_p.add_argument("--load", nargs="*", type=float, default=[0.82])
+    run_p.add_argument("--nodes", nargs="*", type=int, default=[4392])
+    run_p.add_argument(
+        "--mixes", nargs="*", choices=sorted(NOTICE_MIXES), default=["W5"]
+    )
+    run_p.add_argument(
+        "--mechanisms",
+        nargs="*",
+        default=["all+baseline"],
+        help='names like "CUA&SPAA", "baseline", or "all"/"all+baseline"',
+    )
+    run_p.add_argument(
+        "--backfill", nargs="*", choices=["easy", "conservative"],
+        default=["easy"],
+    )
+    run_p.add_argument(
+        "--ckpt-multipliers", nargs="*", type=float, default=[1.0]
+    )
+    run_p.add_argument(
+        "--failure-mtbf-days", nargs="*", type=float, default=[0.0]
+    )
+    run_p.add_argument("--seeds", nargs="*", type=int, default=None)
+    run_p.add_argument("--traces", type=int, default=3)
+    run_p.add_argument("--seed", type=int, default=2022)
+    run_p.add_argument("--workers", type=int, default=1)
+    run_p.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-run cells whose stored status is 'error'",
+    )
+    run_p.add_argument(
+        "--grow",
+        action="store_true",
+        help="allow this spec to extend the campaign already in --dir "
+        "(cached cells are reused; the stored spec is replaced)",
+    )
+
+    status_p = sub.add_parser("status", help="progress of a campaign dir")
+    status_p.add_argument("--dir", dest="directory", required=True)
+
+    report_p = sub.add_parser("report", help="pivoted summary / diff")
+    report_p.add_argument("--dir", dest="directory", required=True)
+    report_p.add_argument(
+        "--by",
+        nargs="*",
+        default=None,
+        help="config fields to group rows by (default: notice_mix mechanism)",
+    )
+    report_p.add_argument(
+        "--metrics", nargs="*", default=None, help="summary fields to show"
+    )
+    report_p.add_argument(
+        "--diff",
+        default=None,
+        help="second campaign directory to diff against",
+    )
+    return parser
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from repro.campaign.spec import CampaignSpec
+
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            return CampaignSpec.from_dict(json.load(fh))
+    mechanisms: List[Optional[str]] = []
+    for name in args.mechanisms:
+        if name in ("all", "all+baseline"):
+            if name == "all+baseline":
+                mechanisms.append(None)
+            mechanisms.extend(m.name for m in ALL_MECHANISMS)
+        elif name.lower() == "baseline":
+            mechanisms.append(None)
+        else:
+            mechanisms.append(Mechanism.parse(name).name)
+    seeds = (
+        args.seeds
+        if args.seeds
+        else [args.seed + i for i in range(args.traces)]
+    )
+    return CampaignSpec(
+        name=args.name,
+        days=tuple(args.days),
+        target_load=tuple(args.load),
+        system_size=tuple(args.nodes),
+        notice_mix=tuple(args.mixes),
+        mechanism=tuple(mechanisms),
+        backfill_mode=tuple(args.backfill),
+        checkpoint_multiplier=tuple(args.ckpt_multipliers),
+        failure_mtbf_days=tuple(args.failure_mtbf_days),
+        seeds=tuple(seeds),
+    )
+
+
+def campaign_main(argv: List[str]) -> int:
+    from repro.campaign import (
+        DEFAULT_GROUP_BY,
+        DEFAULT_METRICS,
+        diff_text,
+        load_campaign,
+        report_text,
+        run_campaign,
+        status_text,
+    )
+
+    args = make_campaign_parser().parse_args(argv)
+    if args.command == "run":
+        spec = _campaign_spec_from_args(args)
+        result = run_campaign(
+            spec,
+            directory=args.directory,
+            workers=args.workers,
+            retry_failed=args.retry_failed,
+            allow_spec_update=args.grow,
+            progress=print,
+        )
+        print(
+            f"campaign {spec.name!r}: {result.n_total} cells — "
+            f"{result.n_cached} cached, {result.n_ran} ran, "
+            f"{result.n_failed} failed"
+        )
+        if args.directory:
+            print(f"results stored in {args.directory}")
+        return 1 if result.n_failed else 0
+    if args.command == "status":
+        spec_dict, records = load_campaign(args.directory)
+        print(status_text(spec_dict, records))
+        return 0
+    if args.command == "report":
+        _, records = load_campaign(args.directory)
+        by = tuple(args.by) if args.by else DEFAULT_GROUP_BY
+        metrics = tuple(args.metrics) if args.metrics else DEFAULT_METRICS
+        if args.diff:
+            _, other = load_campaign(args.diff)
+            print(
+                diff_text(
+                    records,
+                    other,
+                    metrics=metrics,
+                    a_name=args.directory,
+                    b_name=args.diff,
+                )
+            )
+        else:
+            print(report_text(records, by=by, metrics=metrics))
+        return 0
+    raise AssertionError(args.command)  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # piping into `head` closes stdout early; exit quietly instead of
+        # tracebacking (os.devnull dance silences interpreter shutdown too)
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
     args = make_parser().parse_args(argv)
     if args.exhibit == "table3":
         print(figures.table3_mixes()["text"])

@@ -14,12 +14,23 @@ the full Fig. 6 grid regenerates in minutes on a laptop — pass
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.core.mechanisms import ALL_MECHANISMS, Mechanism
+from repro.jobs.checkpoint import CheckpointModel
 from repro.sim.config import SimConfig
+from repro.sim.failures import FailureModel
 from repro.util.errors import ConfigurationError
-from repro.workload.spec import WorkloadSpec, theta_spec
+from repro.util.timeconst import DAY
+from repro.workload.spec import (
+    NOTICE_MIXES,
+    NoticeMix,
+    WorkloadSpec,
+    theta_spec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign.spec import CampaignSpec
 
 
 @dataclass(frozen=True)
@@ -57,6 +68,48 @@ class ExperimentConfig:
     def with_sim(self, sim: SimConfig) -> "ExperimentConfig":
         return replace(self, sim=sim)
 
+    def to_campaign_spec(
+        self,
+        name: str,
+        mixes: Optional[Sequence[NoticeMix]] = None,
+        include_baseline: bool = False,
+        kind: str = "sim",
+    ) -> "CampaignSpec":
+        """Translate this one-shot config into a declarative campaign.
+
+        The campaign axes capture (days, load, system size, mix,
+        mechanism, backfill, checkpoint multiplier, failure MTBF, seed);
+        any *other* non-default knob of the workload spec or simulator
+        is preserved in the campaign's override dicts, so the expanded
+        cells reproduce this config exactly — and hash differently from
+        campaigns with different knobs.
+        """
+        from repro.campaign.spec import CampaignSpec
+
+        mix_values = tuple(
+            _mix_value(m) for m in (mixes or [self.spec.notice_mix])
+        )
+        mechanisms: List[Optional[str]] = [m.name for m in self.mechanisms]
+        if include_baseline:
+            mechanisms = [None, *mechanisms]
+        failures = self.sim.failures
+        mtbf_days = failures.node_mtbf_s / DAY if failures.enabled else 0.0
+        return CampaignSpec(
+            name=name,
+            days=(self.spec.days,),
+            target_load=(self.spec.target_load,),
+            system_size=(self.spec.system_size,),
+            notice_mix=mix_values,
+            mechanism=tuple(mechanisms),
+            backfill_mode=(self.sim.backfill_mode,),
+            checkpoint_multiplier=(self.sim.checkpoint.interval_multiplier,),
+            failure_mtbf_days=(mtbf_days,),
+            seeds=tuple(self.seeds()),
+            kind=kind,
+            spec_overrides=_spec_overrides(self.spec),
+            sim_overrides=_sim_overrides(self.sim),
+        )
+
     @staticmethod
     def quick(
         days: float = 10.0,
@@ -70,3 +123,51 @@ class ExperimentConfig:
         spec = theta_spec(days=days, **spec_overrides)
         sim = SimConfig(system_size=spec.system_size)
         return ExperimentConfig(spec=spec, sim=sim, n_traces=n_traces)
+
+
+def _mix_value(mix: NoticeMix) -> Union[str, dict]:
+    """A Table III mix travels by name; custom mixes embed their dict."""
+    if NOTICE_MIXES.get(mix.name) == mix:
+        return mix.name
+    return mix.to_dict()
+
+
+def _spec_overrides(spec: WorkloadSpec) -> dict:
+    """Non-default workload knobs not already covered by campaign axes."""
+    baseline = theta_spec(
+        days=spec.days,
+        target_load=spec.target_load,
+        system_size=spec.system_size,
+        notice_mix=spec.notice_mix,
+    )
+    base_d, spec_d = baseline.to_dict(), spec.to_dict()
+    return {k: v for k, v in spec_d.items() if base_d[k] != v}
+
+
+def _sim_overrides(sim: SimConfig) -> dict:
+    """Non-default simulator knobs not already covered by campaign axes."""
+    failures = (
+        FailureModel(enabled=True, node_mtbf_s=sim.failures.node_mtbf_s)
+        if sim.failures.enabled
+        else FailureModel.disabled()
+    )
+    baseline = SimConfig(
+        system_size=sim.system_size,
+        backfill_mode=sim.backfill_mode,
+        checkpoint=CheckpointModel(
+            interval_multiplier=sim.checkpoint.interval_multiplier
+        ),
+        failures=failures,
+    )
+    out: dict = {}
+    for name in sim.__dataclass_fields__:
+        base_v, sim_v = getattr(baseline, name), getattr(sim, name)
+        if base_v == sim_v:
+            continue
+        if name == "checkpoint":
+            out[name] = dict(sim_v.__dict__)
+        elif name == "failures":
+            out[name] = dict(sim_v.__dict__)
+        else:
+            out[name] = sim_v
+    return out

@@ -9,14 +9,14 @@ EXPERIMENTS.md paper-vs-measured record is produced the same way.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.mechanisms import ALL_MECHANISMS, Mechanism
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_mechanism_grid, run_workload_sweep
+from repro.experiments.runner import run_mechanism_grid
 from repro.metrics.report import format_summary_rows, format_table
-from repro.metrics.summary import SummaryMetrics
-from repro.workload.ondemand import burstiness_cv, ondemand_jobs_per_week
+from repro.metrics.summary import SummaryMetrics, average_summaries
+from repro.workload.ondemand import burstiness_cv
 from repro.workload.spec import NOTICE_MIXES, NoticeMix, W1, W2, W3, W4, W5
 from repro.workload.theta import generate_trace
 from repro.workload.trace import (
@@ -26,6 +26,9 @@ from repro.workload.trace import (
 )
 
 FIG6_MIXES: List[NoticeMix] = [W1, W2, W3, W4, W5]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign.store import CellRecord
 
 
 # ----------------------------------------------------------------------
@@ -87,13 +90,31 @@ def fig4_type_mix(config: ExperimentConfig) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Fig. 5 — weekly on-demand submissions (burstiness)
 # ----------------------------------------------------------------------
-def fig5_burstiness(config: ExperimentConfig) -> Dict[str, object]:
-    """Fig. 5: on-demand jobs per week for sample traces."""
+def fig5_burstiness(
+    config: ExperimentConfig, campaign_dir: Optional[str] = None
+) -> Dict[str, object]:
+    """Fig. 5: on-demand jobs per week for sample traces.
+
+    Runs as a ``kind="trace"`` campaign, so passing *campaign_dir*
+    caches the per-seed workload characterizations across invocations.
+    """
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.store import ResultStore
+
+    cspec = config.to_campaign_spec(name="fig5", kind="trace")
+    cspec = replace(cspec, mechanism=(None,), seeds=tuple(config.seeds()[:3]))
+    store = ResultStore(campaign_dir) if campaign_dir else None
+    run = run_campaign(cspec, store=store, workers=config.workers)
+    if run.n_failed:
+        failed = [r for r in run.records if not r.ok]
+        raise RuntimeError(
+            f"{run.n_failed} trace cells failed; first error:\n"
+            f"{failed[0].error}"
+        )
     series = {}
-    for seed in config.seeds()[:3]:
-        jobs = generate_trace(config.spec, seed=seed)
-        counts = ondemand_jobs_per_week(jobs, config.spec.horizon_s)
-        series[seed] = counts
+    for record in run.ok_records:
+        payload = record.payload or {}
+        series[int(record.config["seed"])] = list(payload["weekly_ondemand"])
     rows = []
     for seed, counts in series.items():
         rows.append(
@@ -159,20 +180,77 @@ def table3_mixes() -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Fig. 6 — the headline grid: mechanisms x mixes
 # ----------------------------------------------------------------------
+def _mix_matches(config_mix: object, mix: NoticeMix) -> bool:
+    if isinstance(config_mix, str):
+        return config_mix == mix.name
+    if isinstance(config_mix, dict):
+        return config_mix.get("name") == mix.name
+    return False
+
+
+def _sweep_from_records(
+    records: Sequence["CellRecord"],
+    mixes: Sequence[NoticeMix],
+    mechanisms: Sequence[Optional[Mechanism]],
+) -> Dict[str, Dict[Optional[str], SummaryMetrics]]:
+    """Reassemble campaign records into the Fig. 6 sweep shape."""
+    out: Dict[str, Dict[Optional[str], SummaryMetrics]] = {}
+    for mix in mixes:
+        per_mech: Dict[Optional[str], SummaryMetrics] = {}
+        for m in mechanisms:
+            name = m.name if m else None
+            group = [
+                r.summary_metrics()
+                for r in records
+                if r.ok
+                and r.config["mechanism"] == name
+                and _mix_matches(r.config["notice_mix"], mix)
+            ]
+            if not group:
+                failed = [
+                    r
+                    for r in records
+                    if not r.ok
+                    and r.config["mechanism"] == name
+                    and _mix_matches(r.config["notice_mix"], mix)
+                ]
+                raise RuntimeError(
+                    f"no completed cells for mix={mix.name} "
+                    f"mechanism={name}; first error:\n"
+                    f"{failed[0].error if failed else '(no cells at all)'}"
+                )
+            per_mech[name] = average_summaries(group)
+        out[mix.name] = per_mech
+    return out
+
 def fig6_mechanisms(
     config: ExperimentConfig,
     mixes: Optional[Sequence[NoticeMix]] = None,
+    campaign_dir: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Fig. 6: all six mechanisms under the five Table III mixes."""
+    """Fig. 6: all six mechanisms under the five Table III mixes.
+
+    The grid runs as a campaign: with *campaign_dir* set, completed
+    (mix x mechanism x seed) cells are cached on disk and reused by any
+    later invocation — including partial overlaps such as a rerun with
+    more seeds or extra mechanisms.
+    """
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.store import ResultStore
+
     mixes = list(mixes) if mixes is not None else FIG6_MIXES
-    sweep = run_workload_sweep(
-        config.spec,
-        mixes,
-        config.mechanisms,
-        config.seeds(),
-        sim=config.sim,
-        workers=config.workers,
-    )
+    cspec = config.to_campaign_spec(name="fig6", mixes=mixes)
+    store = ResultStore(campaign_dir) if campaign_dir else None
+    run = run_campaign(cspec, store=store, workers=config.workers)
+    if run.n_failed:
+        # a partial seed average would silently skew the figure; surface
+        # the failure instead (retry via the campaign CLI --retry-failed)
+        failed = [r for r in run.records if not r.ok]
+        raise RuntimeError(
+            f"{run.n_failed} fig6 cells failed; first error:\n"
+            f"{failed[0].error}"
+        )
+    sweep = _sweep_from_records(run.records, mixes, config.mechanisms)
     parts = [table3_mixes()["text"], ""]
     for mix in mixes:
         parts.append(

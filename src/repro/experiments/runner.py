@@ -8,6 +8,7 @@ reproducible from the command line.
 
 from __future__ import annotations
 
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -22,12 +23,22 @@ from repro.workload.theta import generate_trace
 
 @dataclass(frozen=True)
 class Cell:
-    """One grid cell: a mechanism run on one generated trace."""
+    """One grid cell: a mechanism run on one generated trace.
+
+    ``summary`` is ``None`` — and ``error`` holds the worker traceback —
+    when the cell raised instead of completing; one bad cell must never
+    abort a whole grid.
+    """
 
     mechanism_name: Optional[str]
     seed: int
     mix_name: str
-    summary: SummaryMetrics
+    summary: Optional[SummaryMetrics]
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 def run_one(
@@ -47,11 +58,30 @@ def _run_cell(
     args: Tuple[WorkloadSpec, int, Optional[str], SimConfig, str],
 ) -> Cell:
     spec, seed, mech_name, sim, mix_name = args
-    mechanism = Mechanism.parse(mech_name) if mech_name else None
-    summary = run_one(spec, seed, mechanism, sim)
+    try:
+        mechanism = Mechanism.parse(mech_name) if mech_name else None
+        summary = run_one(spec, seed, mechanism, sim)
+    except Exception:
+        return Cell(
+            mechanism_name=mech_name,
+            seed=seed,
+            mix_name=mix_name,
+            summary=None,
+            error=traceback.format_exc(),
+        )
     return Cell(
         mechanism_name=mech_name, seed=seed, mix_name=mix_name, summary=summary
     )
+
+
+def _chunksize(n_cells: int, workers: int) -> int:
+    """Batch cells per worker dispatch: ~4 chunks per worker, capped at 8.
+
+    The default ``pool.map`` chunksize of 1 pays one pickle/dispatch round
+    trip per cell, which dominates for the many-small-cell grids the
+    campaign engine produces.
+    """
+    return max(1, min(8, n_cells // (workers * 4) or 1))
 
 
 def _execute(
@@ -61,7 +91,25 @@ def _execute(
     if workers <= 1:
         return [_run_cell(c) for c in cells]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell, cells))
+        return list(
+            pool.map(_run_cell, cells, chunksize=_chunksize(len(cells), workers))
+        )
+
+
+def _group(results: List[Cell], **match: object) -> List[SummaryMetrics]:
+    """Summaries of the non-failed cells matching the given fields."""
+    group = [
+        c
+        for c in results
+        if all(getattr(c, k) == v for k, v in match.items())
+    ]
+    ok = [c.summary for c in group if c.summary is not None]
+    if group and not ok:
+        raise RuntimeError(
+            f"all {len(group)} cells failed for {match}; first error:\n"
+            f"{group[0].error}"
+        )
+    return ok
 
 
 def run_mechanism_grid(
@@ -87,8 +135,7 @@ def run_mechanism_grid(
     out: Dict[Optional[str], SummaryMetrics] = {}
     for m in mechanisms:
         name = m.name if m else None
-        group = [c.summary for c in results if c.mechanism_name == name]
-        out[name] = average_summaries(group)
+        out[name] = average_summaries(_group(results, mechanism_name=name))
     return out
 
 
@@ -114,11 +161,8 @@ def run_workload_sweep(
         per_mech: Dict[Optional[str], SummaryMetrics] = {}
         for m in mechanisms:
             name = m.name if m else None
-            group = [
-                c.summary
-                for c in results
-                if c.mechanism_name == name and c.mix_name == mix.name
-            ]
-            per_mech[name] = average_summaries(group)
+            per_mech[name] = average_summaries(
+                _group(results, mechanism_name=name, mix_name=mix.name)
+            )
         out[mix.name] = per_mech
     return out

@@ -61,6 +61,39 @@ class SummaryMetrics:
     def as_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON-safe dict: non-finite floats become sentinel strings.
+
+        ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity``
+        literals, which are not valid JSON and break strict parsers; the
+        campaign result store round-trips summaries through this form.
+        Inverse of :meth:`from_dict`.
+        """
+        out: Dict[str, object] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if isinstance(value, float) and not math.isfinite(value):
+                if math.isnan(value):
+                    value = "NaN"
+                else:
+                    value = "Infinity" if value > 0 else "-Infinity"
+            out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SummaryMetrics":
+        """Rebuild a summary from :meth:`to_dict` output, losslessly."""
+        decode = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+        kwargs: Dict[str, object] = {}
+        for name, fld in cls.__dataclass_fields__.items():
+            value = data[name]
+            if value in decode and fld.type != "Optional[str]":
+                value = decode[value]  # type: ignore[index]
+            elif fld.type == "float" and value is not None:
+                value = float(value)  # type: ignore[arg-type]
+            kwargs[name] = value
+        return cls(**kwargs)  # type: ignore[arg-type]
+
 
 def _mean(values: Sequence[float]) -> float:
     vals = [v for v in values if not math.isnan(v)]

@@ -42,6 +42,27 @@ class NoticeMix:
     def as_tuple(self) -> Tuple[float, float, float, float]:
         return (self.none, self.accurate, self.early, self.late)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "none": self.none,
+            "accurate": self.accurate,
+            "early": self.early,
+            "late": self.late,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "NoticeMix":
+        """Rebuild a mix from :meth:`to_dict` output (or a Table III name)."""
+        return NoticeMix(
+            name=str(data["name"]),
+            none=float(data["none"]),  # type: ignore[arg-type]
+            accurate=float(data["accurate"]),  # type: ignore[arg-type]
+            early=float(data["early"]),  # type: ignore[arg-type]
+            late=float(data["late"]),  # type: ignore[arg-type]
+        )
+
 
 #: Table III — the five workload notice-accuracy mixes.
 W1 = NoticeMix("W1", 0.70, 0.10, 0.10, 0.10)
@@ -164,6 +185,47 @@ class WorkloadSpec:
         from dataclasses import replace
 
         return replace(self, notice_mix=mix)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of every knob (tuples become lists).
+
+        The campaign result store hashes and persists this, so the
+        representation must be deterministic and round-trippable through
+        :meth:`from_dict`.
+        """
+        out: Dict[str, object] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if isinstance(value, NoticeMix):
+                out[name] = value.to_dict()
+            elif isinstance(value, tuple):
+                out[name] = list(value)
+            else:
+                out[name] = value
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "WorkloadSpec":
+        """Inverse of :meth:`to_dict`."""
+        kwargs: Dict[str, object] = {}
+        for name in WorkloadSpec.__dataclass_fields__:
+            if name not in data:
+                continue
+            value = data[name]
+            if name == "notice_mix":
+                if isinstance(value, dict):
+                    value = NoticeMix.from_dict(value)
+                elif isinstance(value, str):
+                    value = NOTICE_MIXES[value]
+            elif isinstance(value, list):
+                value = tuple(value)
+            kwargs[name] = value
+        unknown = set(data) - set(WorkloadSpec.__dataclass_fields__)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown workload spec fields: {sorted(unknown)}"
+            )
+        return WorkloadSpec(**kwargs)  # type: ignore[arg-type]
 
 
 def theta_spec(days: float = 365.0, **overrides) -> WorkloadSpec:

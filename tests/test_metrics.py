@@ -114,3 +114,81 @@ class TestReport:
     def test_format_summary_rows_mechanism_name(self):
         s = summarize(run_small(Mechanism.parse("CUA&SPAA")))
         assert "CUA&SPAA" in format_summary_rows([s])
+
+
+class TestSummaryDictRoundTrip:
+    """to_dict()/from_dict() must be lossless through strict JSON."""
+
+    @staticmethod
+    def _fields_equal(a, b):
+        for name in a.__dataclass_fields__:
+            va, vb = getattr(a, name), getattr(b, name)
+            if isinstance(va, float) and math.isnan(va):
+                assert isinstance(vb, float) and math.isnan(vb), name
+            else:
+                assert va == vb, name
+                assert type(va) is type(vb), name
+
+    def test_real_summary_round_trips(self):
+        import json
+
+        from repro.metrics.summary import SummaryMetrics
+
+        s = summarize(run_small(Mechanism.parse("CUA&SPAA")))
+        encoded = json.dumps(s.to_dict(), allow_nan=False)
+        self._fields_equal(s, SummaryMetrics.from_dict(json.loads(encoded)))
+
+    @pytest.mark.parametrize(
+        "mechanism,special",
+        [
+            (None, float("nan")),
+            ("CUA&SPAA", float("inf")),
+            ("N&PAA", float("-inf")),
+            ("NaN", 0.0),  # a pathological name must not decode as a float
+            (None, 1.5),
+        ],
+    )
+    def test_edge_values_round_trip(self, mechanism, special):
+        import json
+
+        from repro.metrics.summary import SummaryMetrics
+
+        base = summarize(run_small())
+        fields = base.as_dict()
+        fields["mechanism"] = mechanism
+        for name in fields:
+            if isinstance(fields[name], float):
+                fields[name] = special
+        s = SummaryMetrics(**fields)
+        encoded = json.dumps(s.to_dict(), allow_nan=False)
+        self._fields_equal(s, SummaryMetrics.from_dict(json.loads(encoded)))
+
+    def test_property_random_floats_round_trip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.metrics.summary import SummaryMetrics
+
+        base = summarize(run_small()).as_dict()
+        float_fields = [k for k, v in base.items() if isinstance(v, float)]
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            st.lists(
+                st.floats(allow_nan=True, allow_infinity=True),
+                min_size=len(float_fields),
+                max_size=len(float_fields),
+            )
+        )
+        def check(values):
+            import json
+
+            fields = dict(base)
+            fields.update(zip(float_fields, values))
+            s = SummaryMetrics(**fields)
+            encoded = json.dumps(s.to_dict(), allow_nan=False)
+            self._fields_equal(
+                s, SummaryMetrics.from_dict(json.loads(encoded))
+            )
+
+        check()
