@@ -8,15 +8,23 @@ and reports the same Fig. 6 metrics:
 * malleable flexibility on/off (scheduler-chosen start sizes);
 * queue-ordering policy (FCFS vs SJF vs LJF) under the same mechanism;
 * malleable minimum-size fraction (20 % default vs 50 %).
+
+All SimConfig/WorkloadSpec ablations run through the campaign engine
+against one shared content-addressed store (``benchmarks/out/``), so
+re-running the suite — or any single ablation — is pure cache hits for
+unchanged cells; the sim/spec knobs land in the cells' override dicts
+and hash the variants apart.  The queue-policy ablation stays on direct
+simulation: a policy object is code, not a JSON-shaped campaign axis.
 """
 
+import pathlib
 from dataclasses import replace
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.store import ResultStore
 from repro.core.mechanisms import Mechanism
-from repro.experiments.runner import run_mechanism_grid
 from repro.metrics.report import format_summary_rows, format_table
 from repro.sched.fcfs import FcfsPolicy, LjfPolicy, SjfPolicy
-from repro.sim.config import SimConfig
 from repro.sim.simulator import Simulation
 from repro.metrics.summary import average_summaries, summarize
 from repro.workload.theta import generate_trace
@@ -24,12 +32,31 @@ from repro.workload.trace import clone_jobs
 
 MECH = Mechanism.parse("CUA&SPAA")
 
+#: one shared cell pool for every ablation variant (content-addressed,
+#: so variants never collide and identical cells are computed once)
+CACHE_DIR = pathlib.Path(__file__).parent / "out" / "ablation_campaign"
 
-def _grid_row(campaign, sim):
-    grid = run_mechanism_grid(
-        campaign.spec, [MECH], campaign.seeds(), sim=sim, workers=campaign.workers
+
+def _grid_row(campaign, sim=None, spec=None):
+    """Averaged CUA&SPAA summary for one ablation variant, via campaign."""
+    config = campaign
+    if spec is not None:
+        config = config.with_spec(spec)
+    if sim is not None:
+        config = config.with_sim(sim)
+    config = replace(config, mechanisms=[MECH])
+    run = run_campaign(
+        config.to_campaign_spec(name="ablations"),
+        store=ResultStore(CACHE_DIR),
+        workers=campaign.workers,
     )
-    return grid[MECH.name]
+    if run.n_failed:
+        failed = [r for r in run.records if not r.ok]
+        raise RuntimeError(
+            f"{run.n_failed} ablation cells failed; first error:\n"
+            f"{failed[0].error}"
+        )
+    return average_summaries([r.summary_metrics() for r in run.ok_records])
 
 
 def test_ablation_reserved_loans(benchmark, campaign, emit):
@@ -152,11 +179,7 @@ def test_ablation_malleable_min_size(benchmark, campaign, emit):
         out = {}
         for frac in (0.2, 0.5):
             spec = replace(campaign.spec, malleable_min_size_frac=frac)
-            grid = run_mechanism_grid(
-                spec, [MECH], campaign.seeds(), sim=campaign.sim,
-                workers=campaign.workers,
-            )
-            out[frac] = grid[MECH.name]
+            out[frac] = _grid_row(campaign, spec=spec)
         return out
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -12,14 +12,31 @@ single run — the first-class object:
 * :mod:`repro.campaign.executor` — :func:`run_campaign` fans missing
   cells out over a process pool with per-cell failure capture;
 * :mod:`repro.campaign.report` — grouped pivots over one campaign and
-  cell-matched diffs between two.
+  cell-matched diffs between two;
+* :mod:`repro.campaign.distrib` — cell leasing, worker fleets (local
+  subprocess / SSH backends), and idempotent shard merging, so the same
+  grid runs across any number of machines sharing the directory.
 
-CLI: ``repro-hybrid campaign run|status|report``.
+CLI: ``repro-hybrid campaign run|fleet|worker|merge|gc|status|report``.
 """
 
+from repro.campaign.distrib import (
+    FleetResult,
+    LeaseBoard,
+    LocalSubprocessBackend,
+    MergeStats,
+    SSHBackend,
+    WorkerSummary,
+    merge_shards,
+    run_fleet,
+    run_worker,
+)
 from repro.campaign.executor import (
+    CampaignPlan,
     CampaignRunResult,
+    collect_records,
     execute_cell,
+    plan_campaign,
     run_campaign,
 )
 from repro.campaign.report import (
@@ -31,17 +48,30 @@ from repro.campaign.report import (
     status_text,
 )
 from repro.campaign.spec import CampaignCell, CampaignSpec, canonical_json
-from repro.campaign.store import CellRecord, ResultStore
+from repro.campaign.store import CellRecord, CompactStats, ResultStore
 
 __all__ = [
     "CampaignCell",
+    "CampaignPlan",
     "CampaignSpec",
     "CampaignRunResult",
     "CellRecord",
+    "CompactStats",
+    "FleetResult",
+    "LeaseBoard",
+    "LocalSubprocessBackend",
+    "MergeStats",
     "ResultStore",
+    "SSHBackend",
+    "WorkerSummary",
     "canonical_json",
+    "collect_records",
     "execute_cell",
+    "merge_shards",
+    "plan_campaign",
     "run_campaign",
+    "run_fleet",
+    "run_worker",
     "load_campaign",
     "report_text",
     "status_text",

@@ -1,0 +1,53 @@
+"""Distributed campaign execution: leases, worker fleets, shard merging.
+
+The campaign store is content-addressed and append-only, so scaling a
+grid beyond one process pool needs only three more pieces, all plain
+files under the campaign directory (shareable over NFS or rsync):
+
+* :mod:`repro.campaign.distrib.lease` — ``leases/<key>.json`` claim
+  files with owner, TTL, and heartbeat; any number of workers partition
+  the grid without a coordinator, and a dead worker's cells are
+  reclaimed after its lease expires;
+* :mod:`repro.campaign.distrib.worker` — :func:`run_worker` claims
+  missing cells, executes them via the same :func:`execute_cell` the
+  pool uses, and appends to a private ``shards/<name>.jsonl``;
+* :mod:`repro.campaign.distrib.merge` — :func:`merge_shards` folds
+  shards into ``results.jsonl`` idempotently (content-address dedupe,
+  ok-beats-error);
+* :mod:`repro.campaign.distrib.backend` — launch a worker fleet as
+  local subprocesses or over SSH, wait, and merge
+  (:func:`run_fleet`).
+
+CLI: ``repro-hybrid campaign worker|fleet|merge``.
+
+Failure model: leases give at-most-once execution while owners
+heartbeat, and at-least-once overall (a worker that stalls a full TTL
+may be evicted and its cell re-run).  Duplicated execution is always
+harmless — cells are deterministic and the merge dedupes by content
+address — so correctness of the merged results never depends on the
+lease protocol, only efficiency does.
+"""
+
+from repro.campaign.distrib.backend import (
+    FleetResult,
+    LocalSubprocessBackend,
+    SSHBackend,
+    run_fleet,
+)
+from repro.campaign.distrib.lease import Lease, LeaseBoard
+from repro.campaign.distrib.merge import MergeStats, merge_shards
+from repro.campaign.distrib.worker import WorkerSummary, known_keys, run_worker
+
+__all__ = [
+    "FleetResult",
+    "Lease",
+    "LeaseBoard",
+    "LocalSubprocessBackend",
+    "MergeStats",
+    "SSHBackend",
+    "WorkerSummary",
+    "known_keys",
+    "merge_shards",
+    "run_fleet",
+    "run_worker",
+]

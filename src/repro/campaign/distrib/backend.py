@@ -1,0 +1,287 @@
+"""Worker-fleet backends: spawn N workers locally or over SSH.
+
+A backend only knows how to *launch* workers against a campaign
+directory and wait for them; all coordination happens through the
+directory itself (leases + shards), so backends stay tiny and the two
+shipped here — local subprocesses and SSH — cover a laptop, one fat
+node, and any cluster with a shared filesystem.  For disjoint
+filesystems, rsync the campaign directory out, run workers with the
+SSH backend against per-host copies, rsync the ``shards/`` files back,
+and ``campaign merge`` — the merge is idempotent and shard files never
+conflict (each worker owns its own).
+
+:func:`run_fleet` is the orchestrator: write the spec, launch, wait,
+merge, and assemble the same :class:`CampaignRunResult` a single
+process would have produced.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro.campaign.distrib.merge import MergeStats, merge_shards
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.util.errors import ConfigurationError
+
+LOGS_DIR = "logs"
+
+#: the worker CLI module; ``python -m`` keeps the invocation independent
+#: of whether the package was pip-installed (console script) or is on
+#: PYTHONPATH (source checkout)
+WORKER_MODULE = "repro.experiments.cli"
+
+
+def _worker_args(
+    directory: str, shard: str, ttl_s: float, poll_s: float
+) -> List[str]:
+    return [
+        "campaign",
+        "worker",
+        "--dir",
+        str(directory),
+        "--shard",
+        shard,
+        "--ttl",
+        str(ttl_s),
+        "--poll",
+        str(poll_s),
+    ]
+
+
+@dataclass
+class WorkerHandle:
+    """One launched worker process (local or ssh wrapper)."""
+
+    shard: str
+    proc: subprocess.Popen
+    description: str
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        return self.proc.wait(timeout=timeout)
+
+
+class LocalSubprocessBackend:
+    """Spawn N workers on this machine as ``python -m`` subprocesses.
+
+    Worker stdout/stderr goes to ``<campaign dir>/logs/<shard>.log`` so
+    a wedged fleet is debuggable after the fact.
+    """
+
+    name = "local"
+
+    def __init__(
+        self, workers: int = 2, python: Optional[str] = None
+    ) -> None:
+        if workers <= 0:
+            raise ConfigurationError("fleet needs at least one worker")
+        self.workers = workers
+        self.python = python or sys.executable
+
+    def launch(
+        self,
+        directory: str,
+        ttl_s: float,
+        poll_s: float,
+        shard_prefix: str = "local",
+    ) -> List[WorkerHandle]:
+        env = dict(os.environ)
+        # make `repro` importable in the child no matter how the parent
+        # found it (installed, src/ checkout, pytest path munging)
+        import repro
+
+        pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (pkg_root, env.get("PYTHONPATH")) if p
+        )
+        logs = Path(directory) / LOGS_DIR
+        logs.mkdir(parents=True, exist_ok=True)
+        handles = []
+        for i in range(self.workers):
+            shard = f"{shard_prefix}-{i}"
+            cmd = [
+                self.python,
+                "-m",
+                WORKER_MODULE,
+                *_worker_args(directory, shard, ttl_s, poll_s),
+            ]
+            log = (logs / f"{shard}.log").open("w", encoding="utf-8")
+            proc = subprocess.Popen(
+                cmd, stdout=log, stderr=subprocess.STDOUT, env=env
+            )
+            log.close()  # Popen holds its own reference via the fd
+            handles.append(
+                WorkerHandle(
+                    shard=shard, proc=proc, description=" ".join(cmd)
+                )
+            )
+        return handles
+
+
+class SSHBackend:
+    """Run one worker per host over SSH against a shared filesystem.
+
+    *remote_dir* names the campaign directory as seen from the remote
+    hosts (defaults to the local path — correct for NFS-style mounts);
+    *pythonpath* is prepended remotely so a source checkout works
+    without installation.
+    """
+
+    name = "ssh"
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        python: str = "python3",
+        remote_dir: Optional[str] = None,
+        pythonpath: Optional[str] = None,
+        ssh: Sequence[str] = ("ssh", "-o", "BatchMode=yes"),
+    ) -> None:
+        if not hosts:
+            raise ConfigurationError("ssh backend needs at least one host")
+        self.hosts = list(hosts)
+        self.python = python
+        self.remote_dir = remote_dir
+        self.pythonpath = pythonpath
+        self.ssh = list(ssh)
+
+    def command(
+        self,
+        host: str,
+        shard: str,
+        directory: str,
+        ttl_s: float,
+        poll_s: float,
+    ) -> List[str]:
+        """The full ssh argv for one worker (exposed for testing)."""
+        remote = self.remote_dir or str(directory)
+        worker = [
+            self.python,
+            "-m",
+            WORKER_MODULE,
+            *_worker_args(remote, shard, ttl_s, poll_s),
+        ]
+        if self.pythonpath:
+            worker = ["env", f"PYTHONPATH={self.pythonpath}", *worker]
+        return [*self.ssh, host, " ".join(worker)]
+
+    def launch(
+        self,
+        directory: str,
+        ttl_s: float,
+        poll_s: float,
+        shard_prefix: str = "ssh",
+    ) -> List[WorkerHandle]:
+        logs = Path(directory) / LOGS_DIR
+        logs.mkdir(parents=True, exist_ok=True)
+        handles = []
+        for i, host in enumerate(self.hosts):
+            # hostname in the shard name: which machine produced which
+            # records survives into the shards/ listing
+            shard = f"{shard_prefix}-{host}-{i}"
+            cmd = self.command(host, shard, directory, ttl_s, poll_s)
+            log = (logs / f"{shard}.log").open("w", encoding="utf-8")
+            proc = subprocess.Popen(
+                cmd, stdout=log, stderr=subprocess.STDOUT
+            )
+            log.close()
+            handles.append(
+                WorkerHandle(
+                    shard=shard, proc=proc, description=" ".join(cmd)
+                )
+            )
+        return handles
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one :func:`run_fleet` invocation."""
+
+    #: the assembled campaign outcome, identical in shape to a
+    #: single-process ``run_campaign``
+    run: "CampaignRunResult"
+    merge: MergeStats
+    #: worker exit codes by shard name
+    exit_codes: dict
+
+    @property
+    def ok(self) -> bool:
+        return self.run.n_failed == 0 and all(
+            code == 0 for code in self.exit_codes.values()
+        )
+
+
+def run_fleet(
+    spec: CampaignSpec,
+    directory: str,
+    backend,
+    ttl_s: float = 60.0,
+    poll_s: float = 1.0,
+    allow_spec_update: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FleetResult:
+    """Execute a campaign with a worker fleet: spec → launch → wait →
+    merge → collect.
+
+    The campaign directory is the only channel between this process and
+    the workers; killing the fleet and re-running :func:`run_fleet` (or
+    a plain ``campaign run``) resumes from whatever the shards hold.
+    """
+    from repro.campaign.executor import (
+        CampaignRunResult,
+        collect_records,
+        plan_campaign,
+    )
+
+    say = progress or (lambda _msg: None)
+    store = ResultStore(directory)
+    store.write_spec(spec.to_dict(), overwrite=allow_spec_update)
+    # fold in shards a previous (killed) fleet left behind, so the plan
+    # counts them as cached instead of re-reporting them as work
+    pre_merge = merge_shards(directory, progress=None)
+    if pre_merge.changed:
+        say(
+            f"recovered {pre_merge.n_new + pre_merge.n_upgraded} unmerged "
+            "shard records from a previous fleet"
+        )
+        store = ResultStore(directory)
+    # plan before launching only to report cache hits; workers re-plan
+    # against live state themselves
+    plan = plan_campaign(spec, store)
+    say(
+        f"fleet for campaign {spec.name!r}: {plan.n_total} cells "
+        f"({plan.n_cached} cached, {len(plan.todo)} to run) via "
+        f"{backend.name} backend"
+    )
+    handles = backend.launch(str(directory), ttl_s=ttl_s, poll_s=poll_s)
+    for handle in handles:
+        say(f"  launched {handle.shard}: {handle.description}")
+    exit_codes = {h.shard: h.wait() for h in handles}
+    for shard, code in exit_codes.items():
+        if code != 0:
+            say(f"  worker {shard} exited with {code} (see logs/)")
+    merge = merge_shards(directory, progress=progress)
+    final_store = ResultStore(directory)
+    try:
+        records = collect_records(spec, final_store)
+    except RuntimeError as exc:
+        raise RuntimeError(
+            f"{exc}; worker exit codes: {exit_codes} "
+            f"(worker output under {Path(directory) / LOGS_DIR})"
+        ) from None
+    run = CampaignRunResult(
+        spec=spec,
+        records=records,
+        n_total=plan.n_total,
+        n_cached=plan.n_cached,
+        # todo excludes stored error records and cached ok cells alike,
+        # matching run_campaign's accounting
+        n_ran=len(plan.todo),
+        n_failed=sum(1 for r in records if not r.ok),
+    )
+    return FleetResult(run=run, merge=merge, exit_codes=exit_codes)

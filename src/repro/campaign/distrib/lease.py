@@ -1,0 +1,303 @@
+"""Cell lease protocol: exclusive claims over a shared directory.
+
+One lease is one JSON file, ``leases/<cell key>.json``, holding the
+owner id, acquisition time, last heartbeat, and TTL.  The protocol uses
+only operations that are atomic on POSIX filesystems (and close enough
+on NFS with close-to-open consistency):
+
+* **acquire** — ``open(O_CREAT | O_EXCL)``: exactly one contender
+  creates the file;
+* **heartbeat** — rewrite via temp file + ``os.replace`` after
+  verifying ownership;
+* **release** — verify ownership, then unlink;
+* **evict** — a lease whose heartbeat is older than its TTL is renamed
+  aside (``os.rename`` — again, one contender wins), then the winner
+  re-enters the normal ``acquire`` race.
+
+Guarantees, stated precisely: while an owner heartbeats at least once
+per TTL, no other worker can claim its cell (at-most-once execution).
+An owner that stalls for a full TTL — SIGKILL, network partition,
+laptop sleep — loses the lease; its cell re-runs elsewhere, and if the
+stalled owner *also* finishes, the duplicate record is deduped at merge
+time by content address.  Safety of the merged results therefore never
+rests on the lease protocol; it only prevents wasted compute.
+
+Clocks: expiry compares one worker's ``time.time()`` against another's
+heartbeat timestamp, so multi-host fleets assume wall clocks agree to
+well within the TTL (NTP easily does; pick TTLs in minutes, not
+milliseconds).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional
+
+LEASES_DIR = "leases"
+
+#: sentinel distinguishing "file exists but is unparsable" (a contender
+#: crashed mid-create) from "file is gone"; corrupt leases are evictable
+#: immediately — they can never heartbeat
+_CORRUPT = object()
+
+
+def default_owner() -> str:
+    """A globally unique worker identity: host, pid, and a random tag."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """The parsed content of one lease file."""
+
+    key: str
+    owner: str
+    acquired_at: float
+    heartbeat_at: float
+    ttl_s: float
+
+    def expired(self, now: float) -> bool:
+        return now - self.heartbeat_at > self.ttl_s
+
+    def age_s(self, now: float) -> float:
+        return now - self.heartbeat_at
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "key": self.key,
+                "owner": self.owner,
+                "acquired_at": self.acquired_at,
+                "heartbeat_at": self.heartbeat_at,
+                "ttl_s": self.ttl_s,
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "Lease":
+        data = json.loads(text)
+        return Lease(
+            key=str(data["key"]),
+            owner=str(data["owner"]),
+            acquired_at=float(data["acquired_at"]),
+            heartbeat_at=float(data["heartbeat_at"]),
+            ttl_s=float(data["ttl_s"]),
+        )
+
+
+class LeaseBoard:
+    """All lease operations of one worker against one campaign directory.
+
+    *clock* is injectable so expiry is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        owner: Optional[str] = None,
+        ttl_s: float = 60.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.directory = Path(directory) / LEASES_DIR
+        self.owner = owner or default_owner()
+        self.ttl_s = float(ttl_s)
+        self.clock = clock
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _read(self, path: Path):
+        """The current :class:`Lease`, ``None`` if absent, or ``_CORRUPT``."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return _CORRUPT
+        try:
+            return Lease.from_json(text)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return _CORRUPT
+
+    # --- protocol ----------------------------------------------------------
+    def acquire(self, key: str) -> bool:
+        """Claim *key*; True iff this board now holds a fresh lease.
+
+        An existing lease blocks the claim unless it is expired or
+        corrupt, in which case one contender evicts it (atomic rename)
+        and everyone re-races the O_EXCL create.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        if not self._try_create(path, key):
+            current = self._read(path)
+            if isinstance(current, Lease) and not current.expired(
+                self.clock()
+            ):
+                return False
+            if current is None:
+                # released between our create attempt and read: re-race
+                return self._try_create(path, key)
+            self._evict(path)
+            return self._try_create(path, key)
+        return True
+
+    def _try_create(self, path: Path, key: str) -> bool:
+        now = self.clock()
+        lease = Lease(
+            key=key,
+            owner=self.owner,
+            acquired_at=now,
+            heartbeat_at=now,
+            ttl_s=self.ttl_s,
+        )
+        # stage the full content, then publish with os.link: the lease
+        # file appears atomically *with* its content (an O_EXCL create
+        # followed by a write would expose a momentarily-empty lease,
+        # which a contender could misread as corrupt and evict); link
+        # also fails-if-exists atomically even over NFS
+        tmp = path.with_name(f"{path.name}.new-{uuid.uuid4().hex[:8]}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(lease.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        except FileNotFoundError:
+            # the staged temp vanished (an over-eager cleaner); treat as
+            # a lost race rather than crashing the worker
+            return False
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+        return True
+
+    def _evict(self, path: Path) -> None:
+        """Move an expired/corrupt lease aside; losing the rename race
+        just means some other contender already evicted it.
+
+        The rename may catch a *fresh* lease instead of the expired one
+        we observed — another contender can evict and re-acquire between
+        our read and our rename.  Re-reading the renamed file closes
+        that window: a live lease is restored (``os.link`` refuses to
+        clobber anyone who claimed the path meanwhile), so a correctly
+        heartbeating owner is never evicted by a slow contender.
+        """
+        tomb = path.with_name(
+            f"{path.name}.evicted-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.rename(path, tomb)
+        except FileNotFoundError:
+            return
+        current = self._read(tomb)
+        if isinstance(current, Lease) and not current.expired(self.clock()):
+            try:
+                os.link(tomb, path)
+            except FileExistsError:  # pragma: no cover - triple race
+                # a third contender already created a new lease; the
+                # restored owner detects the loss at its next heartbeat
+                pass
+        try:
+            os.unlink(tomb)
+        except FileNotFoundError:  # pragma: no cover - tomb name is unique
+            pass
+
+    def heartbeat(self, key: str) -> bool:
+        """Refresh this owner's lease; False means the lease was lost
+        (evicted after a stall) and the caller no longer holds the cell."""
+        path = self.path(key)
+        current = self._read(path)
+        if not isinstance(current, Lease) or current.owner != self.owner:
+            return False
+        refreshed = Lease(
+            key=current.key,
+            owner=current.owner,
+            acquired_at=current.acquired_at,
+            heartbeat_at=self.clock(),
+            ttl_s=self.ttl_s,
+        )
+        tmp = path.with_name(
+            f"{path.name}.hb-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            tmp.write_text(refreshed.to_json() + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        except FileNotFoundError:
+            # temp swept from under us: report the lease as lost — the
+            # worker keeps computing and the merge dedupes if needed
+            return False
+        return True
+
+    def release(self, key: str) -> bool:
+        """Drop this owner's lease; False if it was already lost."""
+        path = self.path(key)
+        current = self._read(path)
+        if not isinstance(current, Lease) or current.owner != self.owner:
+            return False
+        try:
+            os.unlink(path)
+        except FileNotFoundError:  # pragma: no cover - benign race
+            pass
+        return True
+
+    # --- inspection / maintenance ------------------------------------------
+    def active(self) -> List[Lease]:
+        """Parsable leases currently on disk (any owner), sorted by key."""
+        if not self.directory.exists():
+            return []
+        leases = []
+        for path in sorted(self.directory.glob("*.json")):
+            current = self._read(path)
+            if isinstance(current, Lease):
+                leases.append(current)
+        return leases
+
+    def prune(self, completed_keys: Iterable[str]) -> int:
+        """Remove leases for already-completed cells plus eviction debris.
+
+        Called by the merge step: once a cell's record is in the merged
+        store, any lease on it — even a live one held by a straggler
+        re-running a duplicate — is pointless.
+        """
+        removed = 0
+        completed = set(completed_keys)
+        if not self.directory.exists():
+            return 0
+        for path in self.directory.iterdir():
+            if any(
+                tag in path.name
+                for tag in (".evicted-", ".hb-", ".new-")
+            ):
+                # debris from a contender killed mid-evict/heartbeat/
+                # create — but a temp may also be in flight *right now*
+                # (between open and link/replace it reads as torn), so
+                # only age past a full TTL marks it dead
+                try:
+                    age_s = self.clock() - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age_s <= self.ttl_s:
+                    continue
+            elif path.suffix == ".json":
+                if path.stem not in completed:
+                    continue
+            else:
+                continue
+            try:
+                os.unlink(path)
+                removed += 1
+            except FileNotFoundError:  # pragma: no cover - benign race
+                pass
+        return removed

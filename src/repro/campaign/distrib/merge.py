@@ -1,0 +1,90 @@
+"""Fold worker shards into the campaign's merged ``results.jsonl``.
+
+The merge is a pure fold over append-only inputs, so it is safe to run
+at any time — mid-fleet for a progress snapshot, after the fleet, or
+repeatedly (re-merging is a no-op).  Rules, applied shard-by-shard in
+sorted name order for determinism:
+
+* a key not yet in ``results.jsonl`` is appended (**new**);
+* an ``ok`` record supersedes a stored ``error`` for the same key
+  (**upgraded** — a cell that failed on one worker and later succeeded
+  elsewhere, e.g. after an OOM kill, heals on merge);
+* everything else is a **duplicate** and is skipped, which is what
+  makes the merge idempotent and makes conflicting shards (two workers
+  that both executed a cell during a lease-expiry race) harmless —
+  cells are deterministic, so the copies agree anyway.
+
+Shard files are left in place: they are history, and re-merging them
+costs nothing.  Lease files for merged cells are pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.campaign.distrib.lease import LeaseBoard
+from repro.campaign.store import SHARDS_DIR, ResultStore, iter_jsonl_records
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """What one :func:`merge_shards` pass did."""
+
+    n_shards: int
+    n_shard_records: int
+    n_new: int
+    n_upgraded: int
+    n_duplicate: int
+    n_leases_pruned: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.n_new or self.n_upgraded)
+
+
+def merge_shards(
+    directory: str,
+    prune_leases: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> MergeStats:
+    """Merge every ``shards/*.jsonl`` into ``<directory>/results.jsonl``."""
+    say = progress or (lambda _msg: None)
+    directory_p = Path(directory)
+    store = ResultStore(directory_p)
+    shards_dir = directory_p / SHARDS_DIR
+    shard_paths = (
+        sorted(shards_dir.glob("*.jsonl")) if shards_dir.exists() else []
+    )
+    n_records = n_new = n_upgraded = n_duplicate = 0
+    for path in shard_paths:
+        for record in iter_jsonl_records(path):
+            n_records += 1
+            existing = store.get(record.key)
+            if existing is None:
+                store.put(record)
+                n_new += 1
+            elif not existing.ok and record.ok:
+                store.put(record)
+                n_upgraded += 1
+            else:
+                n_duplicate += 1
+    n_pruned = 0
+    if prune_leases:
+        board = LeaseBoard(directory_p)
+        n_pruned = board.prune(store.keys())
+    stats = MergeStats(
+        n_shards=len(shard_paths),
+        n_shard_records=n_records,
+        n_new=n_new,
+        n_upgraded=n_upgraded,
+        n_duplicate=n_duplicate,
+        n_leases_pruned=n_pruned,
+    )
+    say(
+        f"merged {stats.n_shards} shards: {stats.n_new} new, "
+        f"{stats.n_upgraded} upgraded, {stats.n_duplicate} duplicate, "
+        f"{stats.n_leases_pruned} leases pruned"
+    )
+    return stats

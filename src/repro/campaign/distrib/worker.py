@@ -1,0 +1,221 @@
+"""The distributed campaign worker: claim → execute → append → release.
+
+A worker is pointed at a campaign directory that already holds
+``campaign.json`` (the fleet launcher — or a plain ``campaign run`` —
+writes it).  It expands the spec exactly like the in-process executor,
+then loops:
+
+1. scan ``results.jsonl`` plus every ``shards/*.jsonl`` for cells that
+   already have a record anywhere (merged or not);
+2. for each missing cell, in deterministic expansion order, try to
+   acquire its lease; on success re-check completion (a cell finished
+   and released by another worker between our scan and the acquire must
+   not re-run), then execute it with a background heartbeat thread and
+   append the record to this worker's private shard;
+3. when nothing is claimable: if the grid is complete, exit; otherwise
+   some cells are leased by other workers — sleep and rescan, so a
+   worker that died mid-cell is covered once its lease expires.
+
+The happens-before chain that prevents double execution: a finishing
+worker flushes its shard append *before* releasing the lease, and a
+successful acquire happens *after* that release — so the post-acquire
+completion scan always sees the record.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Set
+
+from repro.campaign.distrib.lease import LeaseBoard
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    RESULTS_FILE,
+    SHARDS_DIR,
+    SPEC_FILE,
+    ResultStore,
+    iter_jsonl_records,
+)
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkerSummary:
+    """What one :func:`run_worker` invocation did."""
+
+    shard: str
+    owner: str
+    n_executed: int
+    n_failed: int
+    n_passes: int
+    elapsed_s: float
+
+
+def shard_path(directory: Path, shard: str) -> Path:
+    return Path(directory) / SHARDS_DIR / f"{shard}.jsonl"
+
+
+def known_keys(directory: Path) -> Set[str]:
+    """Keys with a record anywhere: merged results or any shard.
+
+    Error records count — failures are remembered, not retried, exactly
+    like the in-process executor; ``--retry-failed`` is the explicit
+    path back.
+    """
+    directory = Path(directory)
+    keys: Set[str] = set()
+    for record in iter_jsonl_records(directory / RESULTS_FILE):
+        keys.add(record.key)
+    shards = directory / SHARDS_DIR
+    if shards.exists():
+        for path in sorted(shards.glob("*.jsonl")):
+            for record in iter_jsonl_records(path):
+                keys.add(record.key)
+    return keys
+
+
+def load_spec(directory: Path) -> CampaignSpec:
+    path = Path(directory) / SPEC_FILE
+    if not path.exists():
+        raise ConfigurationError(
+            f"{path} not found — a worker needs a campaign directory with "
+            "a written spec ('campaign fleet', or 'campaign run' first)"
+        )
+    return CampaignSpec.from_dict(json.loads(path.read_text("utf-8")))
+
+
+def run_worker(
+    directory: str,
+    shard: str,
+    ttl_s: float = 60.0,
+    poll_s: float = 1.0,
+    owner: Optional[str] = None,
+    max_cells: Optional[int] = None,
+    wait: bool = True,
+    heartbeat_interval_s: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    clock: Callable[[], float] = time.time,
+) -> WorkerSummary:
+    """Work a campaign directory until the grid is complete.
+
+    Parameters
+    ----------
+    shard:
+        Name of this worker's private result file,
+        ``shards/<shard>.jsonl``.  Two concurrent workers must not share
+        a shard name (appends would interleave); the fleet launcher
+        numbers them.
+    ttl_s / poll_s:
+        Lease time-to-live, and the rescan interval while all missing
+        cells are leased by other (possibly dead) workers.
+    max_cells:
+        Execute at most this many cells, then return (spot-instance
+        friendly: drain a few cells per billing slot).
+    wait:
+        ``False`` returns as soon as nothing is claimable instead of
+        waiting for other workers' leases to resolve.
+    heartbeat_interval_s:
+        Defaults to ``ttl_s / 4`` so a live worker can miss two beats
+        before anyone may evict it.
+    """
+    say = progress or (lambda _msg: None)
+    start = time.perf_counter()
+    directory_p = Path(directory)
+    spec = load_spec(directory_p)
+    cells = {}
+    for cell in spec.expand():
+        cells.setdefault(cell.key(), cell)
+    # local import: executor imports this package's sibling for fleet
+    # routing, so the heavy import stays off the lease/merge path
+    from repro.campaign.executor import execute_cell
+
+    shard_store = ResultStore(
+        directory_p, results_file=f"{SHARDS_DIR}/{shard}.jsonl"
+    )
+    board = LeaseBoard(directory_p, owner=owner, ttl_s=ttl_s, clock=clock)
+    hb_interval = heartbeat_interval_s or max(ttl_s / 4.0, 0.05)
+
+    n_executed = n_failed = n_passes = 0
+    say(
+        f"worker {board.owner} shard={shard}: "
+        f"{len(cells)} cells in campaign {spec.name!r}"
+    )
+    while True:
+        n_passes += 1
+        done = known_keys(directory_p)
+        pending = [(k, c) for k, c in cells.items() if k not in done]
+        if not pending:
+            break
+        claimed_this_pass = 0
+        for key, cell in pending:
+            if max_cells is not None and n_executed >= max_cells:
+                return WorkerSummary(
+                    shard=shard,
+                    owner=board.owner,
+                    n_executed=n_executed,
+                    n_failed=n_failed,
+                    n_passes=n_passes,
+                    elapsed_s=time.perf_counter() - start,
+                )
+            if not board.acquire(key):
+                continue
+            if key in known_keys(directory_p):
+                # finished-and-released elsewhere after our pass began
+                board.release(key)
+                continue
+            claimed_this_pass += 1
+            stop = threading.Event()
+            beater = threading.Thread(
+                target=_heartbeat_loop,
+                args=(board, key, stop, hb_interval, say),
+                daemon=True,
+            )
+            beater.start()
+            try:
+                record = execute_cell(cell.config())
+            finally:
+                stop.set()
+                beater.join()
+            shard_store.put(record)
+            board.release(key)
+            n_executed += 1
+            if not record.ok:
+                n_failed += 1
+            tag = "ok" if record.ok else "FAILED"
+            say(
+                f"  [{tag}] {key} shard={shard} "
+                f"({record.elapsed_s:.2f}s)"
+            )
+        if claimed_this_pass == 0:
+            if not wait:
+                break
+            # everything missing is leased out; a dead owner's lease
+            # expires after ttl_s, so keep rescanning
+            time.sleep(poll_s)
+    return WorkerSummary(
+        shard=shard,
+        owner=board.owner,
+        n_executed=n_executed,
+        n_failed=n_failed,
+        n_passes=n_passes,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _heartbeat_loop(
+    board: LeaseBoard,
+    key: str,
+    stop: threading.Event,
+    interval_s: float,
+    say: Callable[[str], None],
+) -> None:
+    while not stop.wait(interval_s):
+        if not board.heartbeat(key):
+            # lease lost (we stalled past the TTL and were evicted);
+            # keep computing — the record is valid and merge dedupes
+            say(f"  lease lost for {key}; finishing cell anyway")
+            return

@@ -25,19 +25,57 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional
 
+import numpy as np
+
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import CellRecord, ResultStore
 from repro.experiments.runner import run_one
 from repro.workload.ondemand import burstiness_cv, ondemand_jobs_per_week
+from repro.workload.spec import WorkloadSpec
 from repro.workload.theta import generate_trace
 from repro.workload.trace import type_shares
+
+
+def _cell_jobs(cell: CampaignCell, spec: WorkloadSpec) -> Optional[List]:
+    """Job list for an SWF-backed cell; ``None`` for synthetic cells.
+
+    A real log supplies submit times, sizes, and runtimes; the paper's
+    §IV-A type assignment (projects → on-demand/rigid/malleable, notice
+    classes from the cell's mix) is layered on, seeded by the cell seed
+    so replicas vary the assignment, not the trace.
+    """
+    if cell.trace_file is None:
+        return None
+    from repro.workload.swf import load_swf, retype_jobs
+
+    rigid = load_swf(cell.trace_file, **dict(cell.trace_options))
+    rng = np.random.default_rng(cell.seed)
+    return retype_jobs(
+        rigid,
+        frac_projects_ondemand=spec.frac_projects_ondemand,
+        frac_projects_rigid=spec.frac_projects_rigid,
+        notice_mix=spec.notice_mix,
+        rng=rng,
+        system_size=spec.system_size,
+        malleable_min_size_frac=spec.malleable_min_size_frac,
+        rigid_setup_frac=spec.rigid_setup_frac,
+        malleable_setup_frac=spec.malleable_setup_frac,
+        lead_range_s=spec.notice_lead_range_s,
+        late_window_s=spec.late_window_s,
+    )
 
 
 def _trace_payload(cell: CampaignCell) -> Dict[str, object]:
     """Trace-characterization cells: workload statistics, no simulation."""
     spec = cell.workload_spec()
-    jobs = generate_trace(spec, seed=cell.seed)
-    weekly = ondemand_jobs_per_week(jobs, spec.horizon_s)
+    jobs = _cell_jobs(cell, spec)
+    if jobs is None:
+        jobs = generate_trace(spec, seed=cell.seed)
+        horizon = spec.horizon_s
+    else:
+        # real logs span whatever they span; bin to the observed horizon
+        horizon = max(j.submit_time for j in jobs) + 1.0 if jobs else 0.0
+    weekly = ondemand_jobs_per_week(jobs, horizon)
     return {
         "n_jobs": len(jobs),
         "type_shares": type_shares(jobs),
@@ -60,11 +98,13 @@ def execute_cell(config: Mapping[str, object]) -> CellRecord:
         if cell.kind == "trace":
             payload, summary = _trace_payload(cell), None
         else:
+            wspec = cell.workload_spec()
             metrics = run_one(
-                cell.workload_spec(),
+                wspec,
                 cell.seed,
                 cell.mechanism_obj(),
                 cell.sim_config(),
+                jobs=_cell_jobs(cell, wspec),
             )
             payload, summary = None, metrics.to_dict()
     except Exception:
@@ -102,12 +142,92 @@ class CampaignRunResult:
         return [r for r in self.records if r.ok]
 
 
+@dataclass(frozen=True)
+class CampaignPlan:
+    """What a pass over a campaign grid still has to compute.
+
+    Shared by the in-process pool and the distributed worker loop, so
+    both sides agree cell-for-cell on identity, dedup, and cache hits —
+    the pool is just the degenerate single-worker, no-lease execution of
+    the same plan.
+    """
+
+    spec: CampaignSpec
+    #: unique cells keyed by content address, first-occurrence order
+    by_key: Dict[str, CampaignCell]
+    #: cells with no usable stored record, in expansion order
+    todo: List[CampaignCell]
+    n_cached: int
+
+    @property
+    def n_total(self) -> int:
+        return len(self.by_key)
+
+
+def matches_filter(
+    config: Mapping[str, object], where: Mapping[str, object]
+) -> bool:
+    """Does a cell config satisfy every ``key=value`` selection pair?"""
+    return all(config.get(k) == v for k, v in where.items())
+
+
+def plan_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    retry_failed: bool = False,
+    retry_filter: Optional[Mapping[str, object]] = None,
+) -> CampaignPlan:
+    """Expand *spec*, dedupe by content address, subtract stored cells.
+
+    ``retry_failed`` forgets stored ``error`` records (so those cells
+    re-run); ``retry_filter`` narrows that to failures whose config
+    matches every given ``key=value`` pair (e.g. one mechanism or seed).
+    """
+    cells = spec.expand()
+    # dedup by content address: a grid that names the same cell twice
+    # (repeated seed, 'all+baseline baseline') still runs it once
+    by_key: Dict[str, CampaignCell] = {}
+    for cell in cells:
+        by_key.setdefault(cell.key(), cell)
+    done = store.completed_keys()
+    if retry_failed:
+        stale = store.failed_keys() & set(by_key)
+        if retry_filter:
+            stale = {
+                k
+                for k in stale
+                if matches_filter(by_key[k].config(), retry_filter)
+            }
+        store.drop(stale)
+    todo = [c for k, c in by_key.items() if k not in store]
+    n_cached = sum(1 for key in by_key if key in done)
+    return CampaignPlan(
+        spec=spec, by_key=by_key, todo=todo, n_cached=n_cached
+    )
+
+
+def collect_records(
+    spec: CampaignSpec, store: ResultStore
+) -> List[CellRecord]:
+    """One stored record per unique cell, in expansion order; all must
+    be present (run the campaign / merge the shards first)."""
+    keys = {c.key(): c for c in spec.expand()}
+    records = [store.get(key) for key in keys]
+    missing = sum(1 for r in records if r is None)
+    if missing:
+        raise RuntimeError(
+            f"{missing}/{len(keys)} cells missing from the store"
+        )
+    return [r for r in records if r is not None]
+
+
 def run_campaign(
     spec: CampaignSpec,
     directory: Optional[str] = None,
     store: Optional[ResultStore] = None,
     workers: int = 1,
     retry_failed: bool = False,
+    retry_filter: Optional[Mapping[str, object]] = None,
     allow_spec_update: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> CampaignRunResult:
@@ -125,12 +245,19 @@ def run_campaign(
     retry_failed:
         Re-run cells whose stored status is ``error`` instead of
         keeping the failure record.
+    retry_filter:
+        With *retry_failed*, only retry failures whose config matches
+        every ``key=value`` pair (e.g. ``{"mechanism": "N&PAA"}``).
     allow_spec_update:
         Let *spec* replace a different spec already recorded in the
         directory — growing a campaign in place (extra seeds,
         mechanisms, ...) while reusing every already-computed cell.
     progress:
         Optional callback receiving one human-readable line per event.
+
+    For multi-machine execution of the same grid, see
+    :func:`repro.campaign.distrib.run_fleet` — it shares this planner
+    and store, adding cell leases and per-worker shards on top.
     """
     say = progress or (lambda _msg: None)
     if store is None:
@@ -141,24 +268,13 @@ def run_campaign(
         store = ResultStore(directory)
         store.write_spec(spec.to_dict(), overwrite=allow_spec_update)
 
-    cells = spec.expand()
-    by_key = {c.key(): c for c in cells}
-    done = store.completed_keys()
-    if retry_failed:
-        store.drop(store.failed_keys() & set(by_key))
-    # dedup by content address: a grid that names the same cell twice
-    # (repeated seed, 'all+baseline baseline') still runs it once
-    todo: List[CampaignCell] = []
-    seen = set()
-    for cell in cells:
-        key = cell.key()
-        if key not in store and key not in seen:
-            todo.append(cell)
-            seen.add(key)
-    n_cached = sum(1 for key in by_key if key in done)
+    plan = plan_campaign(
+        spec, store, retry_failed=retry_failed, retry_filter=retry_filter
+    )
+    by_key, todo = plan.by_key, plan.todo
     say(
         f"campaign {spec.name!r}: {len(by_key)} cells "
-        f"({n_cached} cached, {len(todo)} to run)"
+        f"({plan.n_cached} cached, {len(todo)} to run)"
     )
 
     if todo:
@@ -181,17 +297,12 @@ def run_campaign(
                     store.put(record)
                     say(_cell_line(record, by_key[record.key]))
 
-    # one record per unique cell, in first-occurrence expansion order
-    records = [store.get(key) for key in by_key]
-    missing = sum(1 for r in records if r is None)
-    if missing:  # pragma: no cover - store.put above guarantees presence
-        raise RuntimeError(f"{missing} cells missing after execution")
-    final = [r for r in records if r is not None]
+    final = collect_records(spec, store)
     return CampaignRunResult(
         spec=spec,
         records=final,
         n_total=len(by_key),
-        n_cached=n_cached,
+        n_cached=plan.n_cached,
         n_ran=len(todo),
         n_failed=sum(1 for r in final if not r.ok),
     )

@@ -107,10 +107,21 @@ class CampaignCell:
     #: the axis fields; part of the hashed identity
     spec_overrides: Mapping[str, object] = field(default_factory=dict)
     sim_overrides: Mapping[str, object] = field(default_factory=dict)
+    #: path to a real Standard Workload Format log; ``None`` generates the
+    #: synthetic Theta trace.  SWF cells apply the paper's §IV-A type
+    #: assignment (seeded by ``seed``) on top of the parsed rigid jobs.
+    trace_file: Optional[str] = None
+    #: ``load_swf`` keyword arguments (cores_per_node, max_jobs, ...)
+    trace_options: Mapping[str, object] = field(default_factory=dict)
 
     def config(self) -> Dict[str, object]:
-        """The canonical, hash-defining config dict."""
-        return {
+        """The canonical, hash-defining config dict.
+
+        ``trace_file``/``trace_options`` are included only when set, so
+        synthetic-trace cells hash exactly as they did before the SWF
+        axis existed — old campaign stores stay valid.
+        """
+        out: Dict[str, object] = {
             "days": float(self.days),
             "target_load": float(self.target_load),
             "system_size": int(self.system_size),
@@ -124,6 +135,11 @@ class CampaignCell:
             "spec_overrides": dict(self.spec_overrides),
             "sim_overrides": dict(self.sim_overrides),
         }
+        if self.trace_file is not None:
+            out["trace_file"] = str(self.trace_file)
+            if self.trace_options:
+                out["trace_options"] = dict(self.trace_options)
+        return out
 
     def key(self) -> str:
         """Stable content address of this cell's full configuration."""
@@ -151,6 +167,8 @@ class CampaignCell:
             kind=str(data.get("kind", "sim")),
             spec_overrides=dict(data.get("spec_overrides", {})),  # type: ignore[arg-type]
             sim_overrides=dict(data.get("sim_overrides", {})),  # type: ignore[arg-type]
+            trace_file=data.get("trace_file"),  # type: ignore[arg-type]
+            trace_options=dict(data.get("trace_options", {})),  # type: ignore[arg-type]
         )
 
     # --- materialization ---------------------------------------------------
@@ -174,9 +192,10 @@ class CampaignCell:
         )
         if "checkpoint" in overrides:
             ckpt_fields = dict(overrides.pop("checkpoint"))  # type: ignore[arg-type]
-            ckpt_fields.setdefault(
-                "interval_multiplier", self.checkpoint_multiplier
-            )
+            # the axis is the canonical home of the multiplier: a sweep
+            # (e.g. fig7) must scale even when an override dict carries
+            # the other checkpoint knobs
+            ckpt_fields["interval_multiplier"] = self.checkpoint_multiplier
             checkpoint = CheckpointModel(**ckpt_fields)
         failures = (
             FailureModel(
@@ -232,6 +251,9 @@ class CampaignSpec:
     kind: str = "sim"
     spec_overrides: Mapping[str, object] = field(default_factory=dict)
     sim_overrides: Mapping[str, object] = field(default_factory=dict)
+    #: SWF log paths; ``None`` entries generate the synthetic Theta trace
+    trace_file: Tuple[Optional[str], ...] = (None,)
+    trace_options: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -248,6 +270,10 @@ class CampaignSpec:
                 Mechanism.parse(mech)  # raises ConfigurationError if bad
         for mix in self.notice_mix:
             _resolve_mix(mix)
+        if self.trace_options and all(t is None for t in self.trace_file):
+            raise ConfigurationError(
+                "trace_options given but no trace_file axis value is set"
+            )
 
     _AXES = (
         "days",
@@ -259,6 +285,7 @@ class CampaignSpec:
         "checkpoint_multiplier",
         "failure_mtbf_days",
         "seeds",
+        "trace_file",
     )
 
     @property
@@ -280,22 +307,29 @@ class CampaignSpec:
                                 for ckpt in self.checkpoint_multiplier:
                                     for mtbf in self.failure_mtbf_days:
                                         for seed in self.seeds:
-                                            cells.append(
-                                                CampaignCell(
-                                                    days=days,
-                                                    target_load=load,
-                                                    system_size=size,
-                                                    notice_mix=mix,
-                                                    mechanism=mech,
-                                                    backfill_mode=bf,
-                                                    checkpoint_multiplier=ckpt,
-                                                    failure_mtbf_days=mtbf,
-                                                    seed=seed,
-                                                    kind=self.kind,
-                                                    spec_overrides=self.spec_overrides,
-                                                    sim_overrides=self.sim_overrides,
+                                            for trace in self.trace_file:
+                                                cells.append(
+                                                    CampaignCell(
+                                                        days=days,
+                                                        target_load=load,
+                                                        system_size=size,
+                                                        notice_mix=mix,
+                                                        mechanism=mech,
+                                                        backfill_mode=bf,
+                                                        checkpoint_multiplier=ckpt,
+                                                        failure_mtbf_days=mtbf,
+                                                        seed=seed,
+                                                        kind=self.kind,
+                                                        spec_overrides=self.spec_overrides,
+                                                        sim_overrides=self.sim_overrides,
+                                                        trace_file=trace,
+                                                        trace_options=(
+                                                            self.trace_options
+                                                            if trace is not None
+                                                            else {}
+                                                        ),
+                                                    )
                                                 )
-                                            )
         return cells
 
     def to_dict(self) -> Dict[str, object]:
@@ -313,6 +347,8 @@ class CampaignSpec:
             "kind": self.kind,
             "spec_overrides": dict(self.spec_overrides),
             "sim_overrides": dict(self.sim_overrides),
+            "trace_file": list(self.trace_file),
+            "trace_options": dict(self.trace_options),
         }
 
     @staticmethod
@@ -332,7 +368,7 @@ class CampaignSpec:
         for name, value in data.items():
             if name in ("name", "kind"):
                 kwargs[name] = value
-            elif name in ("spec_overrides", "sim_overrides"):
+            elif name in ("spec_overrides", "sim_overrides", "trace_options"):
                 kwargs[name] = dict(value)  # type: ignore[arg-type]
             elif name == "mechanism" and value in ("all", "all+baseline"):
                 names: List[Optional[str]] = [m.name for m in ALL_MECHANISMS]

@@ -4,6 +4,8 @@ One campaign lives in one directory::
 
     <dir>/campaign.json    the expanded spec (for status/report/resume)
     <dir>/results.jsonl    one strict-JSON record per completed cell
+    <dir>/shards/*.jsonl   per-worker partial results (distributed runs)
+    <dir>/leases/*.json    cell leases (distributed runs)
 
 Records are keyed by the cell's content address (a SHA-256 prefix of its
 canonical config), so the store is *content-addressed*: re-running a
@@ -30,6 +32,7 @@ from repro.util.errors import ConfigurationError
 
 RESULTS_FILE = "results.jsonl"
 SPEC_FILE = "campaign.json"
+SHARDS_DIR = "shards"
 
 
 @dataclass(frozen=True)
@@ -84,18 +87,45 @@ class CellRecord:
         )
 
 
+def iter_jsonl_records(path: Path):
+    """Yield the valid :class:`CellRecord` s of a JSONL file, in order.
+
+    Torn tail lines (a writer killed mid-append) are silently dropped —
+    that cell simply re-runs.  Shared by the store loader, the shard
+    merger, and the distributed worker's completion scan.
+    """
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield CellRecord.from_json(line)
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+
+
 class ResultStore:
     """Append-only record store, optionally backed by a directory.
 
     With ``directory=None`` the store is purely in-memory (useful for
     one-shot figure runs that want the campaign machinery without a
-    cache directory).
+    cache directory).  *results_file* relocates the JSONL inside the
+    directory — distributed workers use ``shards/<name>.jsonl`` so many
+    writers never interleave appends into one file.
     """
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        results_file: str = RESULTS_FILE,
+    ) -> None:
         self.directory: Optional[Path] = (
             Path(directory) if directory is not None else None
         )
+        self._results_file = results_file
         self._records: Dict[str, CellRecord] = {}
         if self.directory is not None:
             self._load()
@@ -105,13 +135,16 @@ class ResultStore:
         # (status/report) never leave empty directories behind
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.results_path
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
 
     # --- persistence -------------------------------------------------------
     @property
     def results_path(self) -> Optional[Path]:
         if self.directory is None:
             return None
-        return self.directory / RESULTS_FILE
+        return self.directory / self._results_file
 
     @property
     def spec_path(self) -> Optional[Path]:
@@ -121,20 +154,10 @@ class ResultStore:
 
     def _load(self) -> None:
         path = self.results_path
-        if path is None or not path.exists():
+        if path is None:
             return
-        with path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = CellRecord.from_json(line)
-                except (json.JSONDecodeError, KeyError):
-                    # a run killed mid-write leaves at most one torn tail
-                    # line; drop it — that cell simply re-runs
-                    continue
-                self._records[record.key] = record
+        for record in iter_jsonl_records(path):
+            self._records[record.key] = record
 
     def write_spec(
         self, spec_dict: Mapping[str, object], overwrite: bool = False
@@ -192,6 +215,10 @@ class ResultStore:
     def records(self) -> List[CellRecord]:
         return list(self._records.values())
 
+    def keys(self) -> frozenset:
+        """Every stored key, regardless of status."""
+        return frozenset(self._records)
+
     def completed_keys(self) -> frozenset:
         """Keys whose cells finished successfully (cache hits)."""
         return frozenset(k for k, r in self._records.items() if r.ok)
@@ -207,3 +234,46 @@ class ResultStore:
             if self._records.pop(key, None) is not None:
                 n += 1
         return n
+
+    def compact(self, drop_errors: bool = False) -> "CompactStats":
+        """Rewrite the JSONL keeping one line per key (``campaign gc``).
+
+        Retries and merges append superseding lines; history accumulates
+        until compacted.  ``drop_errors=True`` additionally removes
+        ``error`` records entirely, so those cells re-run on the next
+        campaign pass.  The rewrite is atomic (temp file + rename): a
+        kill mid-gc leaves either the old or the new file, never a
+        truncated one.
+        """
+        n_errors = 0
+        if drop_errors:
+            errors = [k for k, r in self._records.items() if not r.ok]
+            n_errors = self.drop(errors)
+        path = self.results_path
+        n_superseded = 0
+        if path is not None and path.exists():
+            n_lines = sum(
+                1 for _ in iter_jsonl_records(path)
+            )
+            n_superseded = n_lines - len(self._records) - n_errors
+            tmp = path.with_name(path.name + ".gc-tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                for record in self._records.values():
+                    fh.write(record.to_json() + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        return CompactStats(
+            n_kept=len(self._records),
+            n_superseded=max(0, n_superseded),
+            n_errors_dropped=n_errors,
+        )
+
+
+@dataclass(frozen=True)
+class CompactStats:
+    """What a :meth:`ResultStore.compact` pass removed."""
+
+    n_kept: int
+    n_superseded: int
+    n_errors_dropped: int

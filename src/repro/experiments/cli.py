@@ -12,9 +12,21 @@ Campaigns (durable, resumable scenario grids)::
     repro-hybrid campaign run --dir runs/grid --days 7 \\
         --mechanisms all --seeds 1 2 3 --workers 4
     repro-hybrid campaign run --dir runs/grid2 --spec my_campaign.json
+    repro-hybrid campaign run --dir runs/grid --retry-failed \\
+        --filter mechanism=N&PAA seed=2
     repro-hybrid campaign status --dir runs/grid
     repro-hybrid campaign report --dir runs/grid --by mechanism
     repro-hybrid campaign report --dir runs/easy --diff runs/conservative
+    repro-hybrid campaign gc --dir runs/grid --drop-errors
+
+Distributed campaigns (cell leasing + per-worker shards)::
+
+    repro-hybrid campaign fleet --dir runs/big --days 365 \\
+        --mechanisms all+baseline --seeds 1 2 3 4 5 --workers 8
+    repro-hybrid campaign fleet --dir /shared/runs/big --spec grid.json \\
+        --ssh-hosts node1 node2 node3 --remote-python python3
+    repro-hybrid campaign worker --dir /shared/runs/big --shard node1-0
+    repro-hybrid campaign merge --dir /shared/runs/big
 """
 
 from __future__ import annotations
@@ -130,6 +142,60 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_grid_args(parser: argparse.ArgumentParser) -> None:
+    """Axis options shared by ``campaign run`` and ``campaign fleet``."""
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="JSON campaign spec file (axes accept scalars or lists)",
+    )
+    parser.add_argument("--name", default="campaign")
+    parser.add_argument("--days", nargs="*", type=float, default=[28.0])
+    parser.add_argument("--load", nargs="*", type=float, default=[0.82])
+    parser.add_argument("--nodes", nargs="*", type=int, default=[4392])
+    parser.add_argument(
+        "--mixes", nargs="*", choices=sorted(NOTICE_MIXES), default=["W5"]
+    )
+    parser.add_argument(
+        "--mechanisms",
+        nargs="*",
+        default=["all+baseline"],
+        help='names like "CUA&SPAA", "baseline", or "all"/"all+baseline"',
+    )
+    parser.add_argument(
+        "--backfill", nargs="*", choices=["easy", "conservative"],
+        default=["easy"],
+    )
+    parser.add_argument(
+        "--ckpt-multipliers", nargs="*", type=float, default=[1.0]
+    )
+    parser.add_argument(
+        "--failure-mtbf-days", nargs="*", type=float, default=[0.0]
+    )
+    parser.add_argument(
+        "--trace-file",
+        nargs="*",
+        default=None,
+        help="SWF log path(s) to sweep as a trace axis (instead of the "
+        "synthetic Theta generator)",
+    )
+    parser.add_argument(
+        "--cores-per-node",
+        type=int,
+        default=None,
+        help="SWF processors-per-node divisor (with --trace-file)",
+    )
+    parser.add_argument("--seeds", nargs="*", type=int, default=None)
+    parser.add_argument("--traces", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument(
+        "--grow",
+        action="store_true",
+        help="allow this spec to extend the campaign already in --dir "
+        "(cached cells are reused; the stored spec is replaced)",
+    )
+
+
 def make_campaign_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hybrid campaign",
@@ -144,37 +210,7 @@ def make_campaign_parser() -> argparse.ArgumentParser:
         default=None,
         help="campaign directory (omit for an ephemeral in-memory run)",
     )
-    run_p.add_argument(
-        "--spec",
-        default=None,
-        help="JSON campaign spec file (axes accept scalars or lists)",
-    )
-    run_p.add_argument("--name", default="campaign")
-    run_p.add_argument("--days", nargs="*", type=float, default=[28.0])
-    run_p.add_argument("--load", nargs="*", type=float, default=[0.82])
-    run_p.add_argument("--nodes", nargs="*", type=int, default=[4392])
-    run_p.add_argument(
-        "--mixes", nargs="*", choices=sorted(NOTICE_MIXES), default=["W5"]
-    )
-    run_p.add_argument(
-        "--mechanisms",
-        nargs="*",
-        default=["all+baseline"],
-        help='names like "CUA&SPAA", "baseline", or "all"/"all+baseline"',
-    )
-    run_p.add_argument(
-        "--backfill", nargs="*", choices=["easy", "conservative"],
-        default=["easy"],
-    )
-    run_p.add_argument(
-        "--ckpt-multipliers", nargs="*", type=float, default=[1.0]
-    )
-    run_p.add_argument(
-        "--failure-mtbf-days", nargs="*", type=float, default=[0.0]
-    )
-    run_p.add_argument("--seeds", nargs="*", type=int, default=None)
-    run_p.add_argument("--traces", type=int, default=3)
-    run_p.add_argument("--seed", type=int, default=2022)
+    _add_grid_args(run_p)
     run_p.add_argument("--workers", type=int, default=1)
     run_p.add_argument(
         "--retry-failed",
@@ -182,10 +218,81 @@ def make_campaign_parser() -> argparse.ArgumentParser:
         help="re-run cells whose stored status is 'error'",
     )
     run_p.add_argument(
-        "--grow",
-        action="store_true",
-        help="allow this spec to extend the campaign already in --dir "
-        "(cached cells are reused; the stored spec is replaced)",
+        "--filter",
+        dest="filters",
+        nargs="*",
+        default=None,
+        metavar="KEY=VALUE",
+        help="with --retry-failed: only retry failures matching every "
+        'pair, e.g. --filter "mechanism=N&PAA" seed=2',
+    )
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="run a campaign with a worker fleet (leases + shards)",
+    )
+    fleet_p.add_argument("--dir", dest="directory", required=True)
+    _add_grid_args(fleet_p)
+    fleet_p.add_argument(
+        "--workers", type=int, default=2,
+        help="local subprocess workers (ignored with --ssh-hosts)",
+    )
+    fleet_p.add_argument(
+        "--ssh-hosts", nargs="*", default=None,
+        help="run one worker per host over ssh (shared filesystem)",
+    )
+    fleet_p.add_argument(
+        "--remote-python", default="python3",
+        help="python executable on the ssh hosts",
+    )
+    fleet_p.add_argument(
+        "--remote-dir", default=None,
+        help="campaign dir as seen from the ssh hosts (default: --dir)",
+    )
+    fleet_p.add_argument(
+        "--remote-pythonpath", default=None,
+        help="PYTHONPATH to set on the ssh hosts (source checkouts)",
+    )
+    fleet_p.add_argument("--ttl", type=float, default=60.0)
+    fleet_p.add_argument("--poll", type=float, default=1.0)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="work one campaign directory (claim cells, append a shard)",
+    )
+    worker_p.add_argument("--dir", dest="directory", required=True)
+    worker_p.add_argument(
+        "--shard", required=True,
+        help="private shard name; unique per concurrent worker",
+    )
+    worker_p.add_argument("--ttl", type=float, default=60.0)
+    worker_p.add_argument("--poll", type=float, default=1.0)
+    worker_p.add_argument(
+        "--max-cells", type=int, default=None,
+        help="stop after executing this many cells",
+    )
+    worker_p.add_argument(
+        "--no-wait", action="store_true",
+        help="exit when nothing is claimable instead of waiting for "
+        "other workers' leases to resolve",
+    )
+
+    merge_p = sub.add_parser(
+        "merge", help="fold shards/*.jsonl into results.jsonl (idempotent)"
+    )
+    merge_p.add_argument("--dir", dest="directory", required=True)
+    merge_p.add_argument(
+        "--keep-leases", action="store_true",
+        help="do not prune lease files for merged cells",
+    )
+
+    gc_p = sub.add_parser(
+        "gc", help="compact results.jsonl (drop superseded records)"
+    )
+    gc_p.add_argument("--dir", dest="directory", required=True)
+    gc_p.add_argument(
+        "--drop-errors", action="store_true",
+        help="also drop 'error' records so those cells re-run",
     )
 
     status_p = sub.add_parser("status", help="progress of a campaign dir")
@@ -231,6 +338,12 @@ def _campaign_spec_from_args(args: argparse.Namespace):
         if args.seeds
         else [args.seed + i for i in range(args.traces)]
     )
+    trace_file = tuple(args.trace_file) if args.trace_file else (None,)
+    trace_options = (
+        {"cores_per_node": args.cores_per_node}
+        if args.trace_file and args.cores_per_node
+        else {}
+    )
     return CampaignSpec(
         name=args.name,
         days=tuple(args.days),
@@ -242,7 +355,32 @@ def _campaign_spec_from_args(args: argparse.Namespace):
         checkpoint_multiplier=tuple(args.ckpt_multipliers),
         failure_mtbf_days=tuple(args.failure_mtbf_days),
         seeds=tuple(seeds),
+        trace_file=trace_file,
+        trace_options=trace_options,
     )
+
+
+def _parse_filters(pairs: Optional[List[str]]) -> Optional[dict]:
+    """``KEY=VALUE`` pairs → a config-matching dict (values JSON-coerced,
+    so ``seed=2`` matches the integer and ``mechanism=baseline`` maps to
+    the stored ``None``)."""
+    if not pairs:
+        return None
+    out = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--filter expects KEY=VALUE pairs, got {pair!r}"
+            )
+        if key == "mechanism" and raw == "baseline":
+            out[key] = None
+            continue
+        try:
+            out[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[key] = raw
+    return out
 
 
 def campaign_main(argv: List[str]) -> int:
@@ -264,6 +402,7 @@ def campaign_main(argv: List[str]) -> int:
             directory=args.directory,
             workers=args.workers,
             retry_failed=args.retry_failed,
+            retry_filter=_parse_filters(args.filters),
             allow_spec_update=args.grow,
             progress=print,
         )
@@ -275,9 +414,84 @@ def campaign_main(argv: List[str]) -> int:
         if args.directory:
             print(f"results stored in {args.directory}")
         return 1 if result.n_failed else 0
+    if args.command == "fleet":
+        from repro.campaign.distrib import (
+            LocalSubprocessBackend,
+            SSHBackend,
+            run_fleet,
+        )
+
+        spec = _campaign_spec_from_args(args)
+        if args.ssh_hosts:
+            backend = SSHBackend(
+                args.ssh_hosts,
+                python=args.remote_python,
+                remote_dir=args.remote_dir,
+                pythonpath=args.remote_pythonpath,
+            )
+        else:
+            backend = LocalSubprocessBackend(workers=args.workers)
+        fleet = run_fleet(
+            spec,
+            directory=args.directory,
+            backend=backend,
+            ttl_s=args.ttl,
+            poll_s=args.poll,
+            allow_spec_update=args.grow,
+            progress=print,
+        )
+        result = fleet.run
+        print(
+            f"campaign {spec.name!r}: {result.n_total} cells — "
+            f"{result.n_cached} cached, {result.n_ran} ran, "
+            f"{result.n_failed} failed; merged into {args.directory}"
+        )
+        return 0 if fleet.ok else 1
+    if args.command == "worker":
+        from repro.campaign.distrib import run_worker
+
+        summary = run_worker(
+            args.directory,
+            shard=args.shard,
+            ttl_s=args.ttl,
+            poll_s=args.poll,
+            max_cells=args.max_cells,
+            wait=not args.no_wait,
+            progress=print,
+        )
+        print(
+            f"worker {summary.owner} shard={summary.shard}: "
+            f"{summary.n_executed} cells executed "
+            f"({summary.n_failed} failed) in {summary.elapsed_s:.1f}s"
+        )
+        # exit 1 on failed cells, matching 'campaign run' — batch
+        # schedulers and the fleet launcher key retries off this
+        return 1 if summary.n_failed else 0
+    if args.command == "merge":
+        from repro.campaign.distrib import merge_shards
+
+        merge_shards(
+            args.directory,
+            prune_leases=not args.keep_leases,
+            progress=print,
+        )
+        return 0
+    if args.command == "gc":
+        from repro.campaign.store import ResultStore
+
+        stats = ResultStore(args.directory).compact(
+            drop_errors=args.drop_errors
+        )
+        print(
+            f"gc {args.directory}: kept {stats.n_kept} records, dropped "
+            f"{stats.n_superseded} superseded + "
+            f"{stats.n_errors_dropped} errors"
+        )
+        return 0
     if args.command == "status":
         spec_dict, records = load_campaign(args.directory)
         print(status_text(spec_dict, records))
+        _print_distrib_status(args.directory)
         return 0
     if args.command == "report":
         _, records = load_campaign(args.directory)
@@ -298,6 +512,29 @@ def campaign_main(argv: List[str]) -> int:
             print(report_text(records, by=by, metrics=metrics))
         return 0
     raise AssertionError(args.command)  # pragma: no cover
+
+
+def _print_distrib_status(directory: str) -> None:
+    """Append lease/shard state to ``campaign status`` when present."""
+    import time
+
+    from repro.campaign.distrib import LeaseBoard
+    from repro.campaign.store import SHARDS_DIR, iter_jsonl_records
+    from pathlib import Path
+
+    shards_dir = Path(directory) / SHARDS_DIR
+    if shards_dir.exists():
+        for path in sorted(shards_dir.glob("*.jsonl")):
+            n = sum(1 for _ in iter_jsonl_records(path))
+            print(f"shard {path.stem}: {n} records (unmerged until "
+                  "'campaign merge')")
+    now = time.time()
+    for lease in LeaseBoard(directory).active():
+        state = "EXPIRED" if lease.expired(now) else "live"
+        print(
+            f"lease {lease.key}: {state}, owner {lease.owner}, "
+            f"heartbeat {lease.age_s(now):.0f}s ago (ttl {lease.ttl_s:.0f}s)"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

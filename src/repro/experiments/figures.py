@@ -269,24 +269,44 @@ def fig6_mechanisms(
 def fig7_checkpointing(
     config: ExperimentConfig,
     multipliers: Sequence[float] = (0.5, 1.0, 2.0),
+    campaign_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Fig. 7: the Fig. 6 metrics as the checkpoint interval is scaled.
 
     ``0.5`` = twice as frequent as Daly's optimum (the paper's "50 %").
+
+    The multipliers are a campaign axis, so with *campaign_dir* every
+    (multiplier x mechanism x seed) cell is cached on disk — rerunning
+    with an extra multiplier only computes the new column.
     """
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.store import ResultStore
+
+    cspec = config.to_campaign_spec(name="fig7")
+    cspec = replace(
+        cspec,
+        checkpoint_multiplier=tuple(float(m) for m in multipliers),
+    )
+    store = ResultStore(campaign_dir) if campaign_dir else None
+    run = run_campaign(cspec, store=store, workers=config.workers)
+    if run.n_failed:
+        failed = [r for r in run.records if not r.ok]
+        raise RuntimeError(
+            f"{run.n_failed} fig7 cells failed; first error:\n"
+            f"{failed[0].error}"
+        )
     results: Dict[float, Dict[Optional[str], SummaryMetrics]] = {}
     parts = []
     for mult in multipliers:
-        sim = replace(
-            config.sim, checkpoint=config.sim.checkpoint.with_multiplier(mult)
-        )
-        grid = run_mechanism_grid(
-            config.spec,
-            config.mechanisms,
-            config.seeds(),
-            sim=sim,
-            workers=config.workers,
-        )
+        grid: Dict[Optional[str], SummaryMetrics] = {}
+        for m in config.mechanisms:
+            group = [
+                r.summary_metrics()
+                for r in run.ok_records
+                if r.config["mechanism"] == m.name
+                and float(r.config["checkpoint_multiplier"]) == float(mult)
+            ]
+            grid[m.name] = average_summaries(group)
         results[mult] = grid
         parts.append(
             format_summary_rows(

@@ -46,10 +46,16 @@ def run_one(
     seed: int,
     mechanism: Optional[Mechanism],
     sim: Optional[SimConfig] = None,
+    jobs: Optional[List] = None,
 ) -> SummaryMetrics:
-    """Generate a trace and simulate it under one mechanism."""
+    """Generate (or accept) a trace and simulate it under one mechanism.
+
+    *jobs* bypasses the synthetic generator — the campaign engine's SWF
+    cells build their job list from a real log and pass it in here.
+    """
     sim = sim or SimConfig(system_size=spec.system_size)
-    jobs = generate_trace(spec, seed=seed)
+    if jobs is None:
+        jobs = generate_trace(spec, seed=seed)
     result = Simulation(jobs, sim, mechanism).run()
     return summarize(result, instant_threshold_s=sim.instant_threshold_s)
 

@@ -21,7 +21,12 @@ from repro.metrics.breakdown import (
     utilization_sparkline,
     waste_by_type,
 )
-from repro.metrics.summary import SummaryMetrics, average_summaries, summarize
+from repro.metrics.summary import (
+    SummaryMetrics,
+    average_summaries,
+    deterministic_view,
+    summarize,
+)
 from repro.metrics.report import format_table, format_summary_rows
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "waste_by_type",
     "SummaryMetrics",
     "average_summaries",
+    "deterministic_view",
     "summarize",
     "format_table",
     "format_summary_rows",

@@ -95,6 +95,24 @@ class SummaryMetrics:
         return cls(**kwargs)  # type: ignore[arg-type]
 
 
+#: metrics measured from the host's wall clock rather than simulation
+#: state — the only SummaryMetrics fields that legitimately differ
+#: between two runs of the same cell (O10 asserts their magnitude, so
+#: they stay in the summary; equivalence checks should mask them)
+WALLCLOCK_METRICS = frozenset(
+    {"decision_latency_p50_s", "decision_latency_max_s"}
+)
+
+
+def deterministic_view(summary) -> dict:
+    """A summary dict minus wall-clock metrics: equal across machines,
+    processes, and runs for identical cells.  Accepts a
+    :class:`SummaryMetrics` or its ``to_dict()`` shape."""
+    if isinstance(summary, SummaryMetrics):
+        summary = summary.to_dict()
+    return {k: v for k, v in summary.items() if k not in WALLCLOCK_METRICS}
+
+
 def _mean(values: Sequence[float]) -> float:
     vals = [v for v in values if not math.isnan(v)]
     return sum(vals) / len(vals) if vals else math.nan

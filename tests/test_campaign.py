@@ -71,6 +71,7 @@ class TestSpecExpansion:
             ("failure_mtbf_days", 30.0),
             ("seed", 99),
             ("kind", "trace"),
+            ("trace_file", "some.swf"),
         ]:
             from dataclasses import replace
 
@@ -225,6 +226,240 @@ class TestExecutor:
         assert result.n_total == 1
         assert result.n_ran == 1
         assert len(result.records) == 1
+
+
+class TestRetryFilter:
+    BAD = {"spec_overrides": {"min_size": 100_000}}
+
+    def test_filter_narrows_retry(self, tmp_path):
+        bad = small_spec(**self.BAD)
+        first = run_campaign(bad, directory=tmp_path / "c")
+        assert first.n_failed == 4
+        # retry only the N&PAA failures: 2 of the 4 cells re-run
+        result = run_campaign(
+            bad,
+            directory=tmp_path / "c",
+            retry_failed=True,
+            retry_filter={"mechanism": "N&PAA"},
+        )
+        assert result.n_ran == 2
+
+    def test_filter_by_seed(self, tmp_path):
+        bad = small_spec(**self.BAD)
+        run_campaign(bad, directory=tmp_path / "c")
+        result = run_campaign(
+            bad,
+            directory=tmp_path / "c",
+            retry_failed=True,
+            retry_filter={"seed": 1},
+        )
+        assert result.n_ran == 2
+
+    def test_unmatched_filter_retries_nothing(self, tmp_path):
+        bad = small_spec(**self.BAD)
+        run_campaign(bad, directory=tmp_path / "c")
+        result = run_campaign(
+            bad,
+            directory=tmp_path / "c",
+            retry_failed=True,
+            retry_filter={"mechanism": "CUP&SPAA"},
+        )
+        assert result.n_ran == 0
+
+    def test_filter_cli_parsing(self):
+        from repro.experiments.cli import _parse_filters
+
+        parsed = _parse_filters(["mechanism=N&PAA", "seed=2", "x=y"])
+        assert parsed == {"mechanism": "N&PAA", "seed": 2, "x": "y"}
+        assert _parse_filters(["mechanism=baseline"]) == {"mechanism": None}
+        assert _parse_filters(None) is None
+        with pytest.raises(SystemExit):
+            _parse_filters(["no-equals-sign"])
+
+
+class TestGc:
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        d = tmp_path / "c"
+        bad = small_spec(spec_overrides={"min_size": 100_000})
+        run_campaign(bad, directory=d)
+        run_campaign(bad, directory=d, retry_failed=True)
+        results = d / "results.jsonl"
+        assert len(results.read_text().splitlines()) == 8  # 4 + 4 retries
+        stats = ResultStore(d).compact()
+        assert (stats.n_kept, stats.n_superseded) == (4, 4)
+        assert len(results.read_text().splitlines()) == 4
+        # still a loadable store with the same records
+        assert len(ResultStore(d)) == 4
+
+    def test_compact_drop_errors_makes_cells_rerun(self, tmp_path):
+        d = tmp_path / "c"
+        bad = small_spec(spec_overrides={"min_size": 100_000})
+        run_campaign(bad, directory=d)
+        stats = ResultStore(d).compact(drop_errors=True)
+        assert stats.n_errors_dropped == 4 and stats.n_kept == 0
+        # the healthy grid now recomputes everything
+        result = run_campaign(
+            small_spec(), directory=d, allow_spec_update=True
+        )
+        assert result.n_ran == 4 and result.n_failed == 0
+
+    def test_compact_memory_store(self):
+        store = ResultStore()
+        store.put(CellRecord(key="k", config={}, status="error", error="x"))
+        stats = store.compact(drop_errors=True)
+        assert stats.n_errors_dropped == 1 and len(store) == 0
+
+    def test_gc_cli(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SMALL))
+        assert cli_main(["campaign", "run", "--spec", str(spec_path), "--dir", d]) == 0
+        capsys.readouterr()
+        assert cli_main(["campaign", "gc", "--dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "kept 4 records" in out
+
+
+def write_demo_swf(path, n_jobs=60, n_groups=6):
+    """A tiny plausible SWF log (one line per job, 18 fields)."""
+    lines = ["; demo SWF for tests"]
+    t = 0.0
+    for i in range(1, n_jobs + 1):
+        t += 120.0 + (i % 7) * 60.0
+        runtime = 600.0 + (i % 5) * 900.0
+        procs = [64, 128, 256][i % 3]
+        group = i % n_groups
+        lines.append(
+            f"{i} {t:.0f} 1 {runtime:.0f} {procs} -1 -1 {procs} "
+            f"{runtime * 1.5:.0f} -1 1 {group + 100} -1 {group} -1 -1 -1 -1"
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestTraceFileAxis:
+    def spec(self, tmp_path, **overrides):
+        swf = tmp_path / "demo.swf"
+        write_demo_swf(swf)
+        # the WorkloadSpec still materializes for SWF cells (it carries
+        # the §IV-A retype fractions), so system_size must satisfy its
+        # validation (>= the generator's default 128-node size floor)
+        # even though no synthetic jobs are drawn
+        return small_spec(
+            trace_file=str(swf),
+            trace_options={"cores_per_node": 64},
+            system_size=256,
+            **overrides,
+        )
+
+    def test_swf_cells_simulate(self, tmp_path):
+        spec = self.spec(tmp_path, seeds=[1], mechanism=[None, "N&PAA"])
+        result = run_campaign(spec, directory=tmp_path / "c")
+        assert result.n_failed == 0 and result.n_total == 2
+        for record in result.records:
+            assert record.config["trace_file"].endswith("demo.swf")
+            assert record.summary_metrics().n_jobs > 0
+
+    def test_swf_cells_deterministic_across_runs(self, tmp_path):
+        spec = self.spec(tmp_path, seeds=[1], mechanism=[None])
+        a = run_campaign(spec, directory=tmp_path / "a")
+        b = run_campaign(spec, directory=tmp_path / "b")
+        from repro.metrics.summary import deterministic_view
+
+        # decision latency is wall-clock measurement, not simulation state
+        assert deterministic_view(a.records[0].summary) == (
+            deterministic_view(b.records[0].summary)
+        )
+
+    def test_swf_axis_alongside_synthetic(self, tmp_path):
+        """trace_file is an axis: None and a log path sweep together."""
+        swf = tmp_path / "demo.swf"
+        write_demo_swf(swf)
+        spec = small_spec(
+            trace_file=[None, str(swf)], seeds=[1], mechanism=[None]
+        )
+        cells = spec.expand()
+        assert spec.n_cells == 2
+        assert {c.trace_file for c in cells} == {None, str(swf)}
+        # synthetic cell hashes exactly as a spec without the axis
+        legacy = small_spec(seeds=[1], mechanism=[None]).expand()[0]
+        synth = next(c for c in cells if c.trace_file is None)
+        assert synth.key() == legacy.key()
+
+    def test_swf_trace_kind_characterizes(self, tmp_path):
+        spec = self.spec(tmp_path, kind="trace", seeds=[1], mechanism=[None])
+        result = run_campaign(spec, directory=tmp_path / "c")
+        assert result.n_failed == 0
+        payload = result.records[0].payload
+        assert payload["n_jobs"] == 60
+        assert sum(payload["type_shares"].values()) == pytest.approx(1.0)
+
+    def test_trace_options_require_trace_file(self):
+        with pytest.raises(ConfigurationError, match="trace_options"):
+            small_spec(trace_options={"cores_per_node": 64})
+
+    def test_trace_file_cli(self, tmp_path, capsys):
+        swf = tmp_path / "demo.swf"
+        write_demo_swf(swf)
+        d = str(tmp_path / "c")
+        assert (
+            cli_main(
+                [
+                    "campaign", "run", "--dir", d, "--nodes", "256",
+                    "--mechanisms", "baseline", "--seeds", "1",
+                    "--trace-file", str(swf), "--cores-per-node", "64",
+                ]
+            )
+            == 0
+        )
+        assert "1 ran" in capsys.readouterr().out
+
+
+class TestFig7Campaign:
+    def config(self):
+        from repro.core.mechanisms import ALL_MECHANISMS
+
+        return ExperimentConfig(
+            spec=theta_spec(days=2, system_size=512, target_load=0.6),
+            sim=SimConfig(system_size=512),
+            mechanisms=[ALL_MECHANISMS[0]],
+            n_traces=1,
+        )
+
+    def test_fig7_runs_on_campaign_engine(self, tmp_path):
+        from repro.experiments import figures
+
+        config = self.config()
+        out = figures.fig7_checkpointing(
+            config, multipliers=(0.5, 2.0), campaign_dir=tmp_path / "f7"
+        )
+        assert set(out["results"]) == {0.5, 2.0}
+        # a second invocation is pure cache hits
+        cspec = config.to_campaign_spec(name="fig7")
+        from dataclasses import replace as dreplace
+
+        cspec = dreplace(cspec, checkpoint_multiplier=(0.5, 2.0))
+        again = run_campaign(cspec, directory=tmp_path / "f7", store=ResultStore(tmp_path / "f7"))
+        assert again.n_ran == 0 and again.n_cached == again.n_total == 2
+
+    def test_fig7_multiplier_axis_beats_checkpoint_override(self):
+        """The checkpoint_multiplier axis scales even when sim_overrides
+        carries the other checkpoint knobs."""
+        from dataclasses import replace as dreplace
+
+        from repro.jobs.checkpoint import CheckpointModel
+
+        config = self.config()
+        config = config.with_sim(
+            dreplace(
+                config.sim,
+                checkpoint=CheckpointModel(min_interval_s=120.0),
+            )
+        )
+        cspec = config.to_campaign_spec(name="x")
+        cspec = dreplace(cspec, checkpoint_multiplier=(2.0,))
+        sim = cspec.expand()[0].sim_config()
+        assert sim.checkpoint.interval_multiplier == 2.0
+        assert sim.checkpoint.min_interval_s == 120.0
 
 
 class TestReport:
