@@ -1,0 +1,162 @@
+"""Progress-index effectiveness: warm completion scans must be >=10x cold.
+
+The quadratic-scan problem the index solves: every worker pass used to
+re-read and re-parse *every* results/shard line to compute the known-key
+set, so a 10k-cell grid paid O(total results) per completion check.
+With the index, a warm check stats the files, sees nothing appended, and
+reads zero bytes; appending a handful of cells costs exactly their
+bytes.
+
+This benchmark builds a 10k-cell store (8k merged results + 4 worker
+shards of 500 each), then measures:
+
+* **cold scan** — a fresh index reading every byte (what the first pass
+  after a restart pays, and what *every* pass paid before the index);
+* **warm scan, idle** — nothing appended since the last pass;
+* **warm scan, +10 cells** — the steady-state worker-loop check.
+
+Asserts the ISSUE's floor: cold / warm >= 10x (typically it is far
+higher — a warm idle scan is just a few stat calls).
+"""
+
+import json
+import shutil
+import time
+
+from repro.campaign import CellRecord, ProgressIndex
+from repro.campaign.distrib.worker import known_keys
+
+from conftest import OUT_DIR, emit  # noqa: F401 - fixture re-export
+
+N_RESULTS = 8_000
+N_SHARDS = 4
+N_PER_SHARD = 500
+N_TOTAL = N_RESULTS + N_SHARDS * N_PER_SHARD
+
+
+def _record(i: int) -> CellRecord:
+    return CellRecord(
+        key=f"{i:016x}",
+        config={"days": 365.0, "mechanism": "CUA&SPAA", "seed": i},
+        status="ok",
+        summary={"avg_turnaround_h": 12.5 + i % 7,
+                 "system_utilization": 0.84},
+        elapsed_s=30.0,
+    )
+
+
+def _build_store(directory) -> None:
+    directory.mkdir(parents=True)
+    with (directory / "results.jsonl").open("w", encoding="utf-8") as fh:
+        for i in range(N_RESULTS):
+            fh.write(_record(i).to_json() + "\n")
+    shards = directory / "shards"
+    shards.mkdir()
+    for s in range(N_SHARDS):
+        with (shards / f"w{s}.jsonl").open("w", encoding="utf-8") as fh:
+            base = N_RESULTS + s * N_PER_SHARD
+            for i in range(base, base + N_PER_SHARD):
+                fh.write(_record(i).to_json() + "\n")
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_progress_index_warm_scan_speedup(emit):  # noqa: F811
+    directory = OUT_DIR / "progress_index"
+    shutil.rmtree(directory, ignore_errors=True)
+    _build_store(directory)
+
+    # cold: fresh in-memory state AND no persisted index file
+    def cold_scan():
+        index = ProgressIndex(directory, name="bench-cold", autosave=False)
+        index.refresh()
+        assert len(index.keys()) == N_TOTAL
+
+    cold_s = _best_of(3, cold_scan)
+
+    # the persisted index a long-lived fleet (or a fresh process) reuses
+    ProgressIndex(directory).refresh()
+
+    def warm_idle():
+        keys = known_keys(directory)  # loads index/progress.json
+        assert len(keys) == N_TOTAL
+
+    warm_idle_s = _best_of(5, warm_idle)
+
+    appended = {"n": 0}
+
+    def warm_append():
+        base = N_TOTAL + appended["n"]
+        with (directory / "shards" / "w0.jsonl").open(
+            "a", encoding="utf-8"
+        ) as fh:
+            for i in range(base, base + 10):
+                fh.write(_record(i).to_json() + "\n")
+        appended["n"] += 10
+        keys = known_keys(directory)
+        assert len(keys) == base + 10
+
+    warm_append_s = _best_of(5, warm_append)
+
+    # the steady-state worker loop holds its index in memory across
+    # passes — no reload of the persisted file at all
+    held = ProgressIndex(directory)
+    held.refresh()
+
+    def warm_held():
+        held.refresh()
+        assert len(held.keys()) == N_TOTAL + appended["n"]
+
+    warm_held_s = _best_of(5, warm_held)
+
+    speedup_idle = cold_s / warm_idle_s
+    speedup_append = cold_s / warm_append_s
+    speedup_held = cold_s / warm_held_s
+    emit(
+        "bench_progress_index",
+        "\n".join(
+            [
+                f"progress index scan, {N_TOTAL} cells "
+                f"({N_RESULTS} merged + {N_SHARDS}x{N_PER_SHARD} shard):",
+                f"  cold full scan        {cold_s * 1e3:9.2f} ms",
+                f"  warm scan, idle       {warm_idle_s * 1e3:9.2f} ms  "
+                f"({speedup_idle:.0f}x)",
+                f"  warm scan, +10 cells  {warm_append_s * 1e3:9.2f} ms  "
+                f"({speedup_append:.0f}x)",
+                f"  warm scan, held index {warm_held_s * 1e3:9.2f} ms  "
+                f"({speedup_held:.0f}x)",
+            ]
+        ),
+    )
+    assert speedup_idle >= 10.0, (cold_s, warm_idle_s)
+    assert speedup_append >= 10.0, (cold_s, warm_append_s)
+    assert speedup_held >= 10.0, (cold_s, warm_held_s)
+
+
+def test_index_agrees_with_full_scan(emit):  # noqa: F811
+    """The speedup is only meaningful if warm and cold scans agree."""
+    directory = OUT_DIR / "progress_index"
+    if not directory.exists():  # bench files can run standalone
+        _build_store(directory)
+    cold = ProgressIndex(directory, name="bench-verify", autosave=False)
+    cold.refresh()
+    warm = ProgressIndex(directory)
+    warm.refresh()
+    assert cold.keys() == warm.keys()
+    index_file = directory / "index" / "progress.json"
+    data = json.loads(index_file.read_text("utf-8"))
+    assert set(data["files"]) == {"results.jsonl"} | {
+        f"shards/w{s}.jsonl" for s in range(N_SHARDS)
+    }
+    emit(
+        "bench_progress_index_verify",
+        f"warm/cold key sets agree on {len(cold.keys())} cells; "
+        f"index tracks {len(data['files'])} files",
+    )

@@ -13,6 +13,9 @@ single run — the first-class object:
   cells out over a process pool with per-cell failure capture;
 * :mod:`repro.campaign.report` — grouped pivots over one campaign and
   cell-matched diffs between two;
+* :mod:`repro.campaign.progress` — :class:`ProgressIndex`, the
+  incremental (byte-offset) completion index every scan goes through,
+  and the ``campaign status --watch`` fleet dashboard;
 * :mod:`repro.campaign.distrib` — cell leasing, worker fleets (local
   subprocess / SSH backends), and idempotent shard merging, so the same
   grid runs across any number of machines sharing the directory.
@@ -39,6 +42,16 @@ from repro.campaign.executor import (
     plan_campaign,
     run_campaign,
 )
+from repro.campaign.progress import (
+    IndexKeyView,
+    ProgressIndex,
+    RefreshStats,
+    StatusSnapshot,
+    ThroughputTracker,
+    status_report,
+    take_snapshot,
+    watch_status,
+)
 from repro.campaign.report import (
     DEFAULT_GROUP_BY,
     DEFAULT_METRICS,
@@ -48,7 +61,14 @@ from repro.campaign.report import (
     status_text,
 )
 from repro.campaign.spec import CampaignCell, CampaignSpec, canonical_json
-from repro.campaign.store import CellRecord, CompactStats, ResultStore
+from repro.campaign.store import (
+    CellRecord,
+    CompactStats,
+    ResultStore,
+    invalidate_indexes,
+    iter_jsonl_records,
+    read_jsonl_since,
+)
 
 __all__ = [
     "CampaignCell",
@@ -58,11 +78,16 @@ __all__ = [
     "CellRecord",
     "CompactStats",
     "FleetResult",
+    "IndexKeyView",
     "LeaseBoard",
     "LocalSubprocessBackend",
     "MergeStats",
+    "ProgressIndex",
+    "RefreshStats",
     "ResultStore",
     "SSHBackend",
+    "StatusSnapshot",
+    "ThroughputTracker",
     "WorkerSummary",
     "canonical_json",
     "collect_records",
@@ -72,6 +97,12 @@ __all__ = [
     "run_campaign",
     "run_fleet",
     "run_worker",
+    "invalidate_indexes",
+    "iter_jsonl_records",
+    "read_jsonl_since",
+    "status_report",
+    "take_snapshot",
+    "watch_status",
     "load_campaign",
     "report_text",
     "status_text",

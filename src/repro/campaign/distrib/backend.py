@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Sequence
 
 from repro.campaign.distrib.merge import MergeStats, merge_shards
+from repro.campaign.progress import IndexKeyView, ProgressIndex
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.util.errors import ConfigurationError
@@ -239,20 +240,27 @@ def run_fleet(
     )
 
     say = progress or (lambda _msg: None)
-    store = ResultStore(directory)
-    store.write_spec(spec.to_dict(), overwrite=allow_spec_update)
+    # one merge index serves the whole fleet pass: the pre-merge, the
+    # plan's cache accounting, and the final merge all reuse its scan
+    # state (the workers share the separate 'progress' index for their
+    # completion scans).  autosave off — merge_shards persists it only
+    # once its appends are durable
+    index = ProgressIndex(directory, name="merge", autosave=False)
+    ResultStore(directory, load=False).write_spec(
+        spec.to_dict(), overwrite=allow_spec_update
+    )
     # fold in shards a previous (killed) fleet left behind, so the plan
     # counts them as cached instead of re-reporting them as work
-    pre_merge = merge_shards(directory, progress=None)
+    pre_merge = merge_shards(directory, progress=None, index=index)
     if pre_merge.changed:
         say(
             f"recovered {pre_merge.n_new + pre_merge.n_upgraded} unmerged "
             "shard records from a previous fleet"
         )
-        store = ResultStore(directory)
-    # plan before launching only to report cache hits; workers re-plan
-    # against live state themselves
-    plan = plan_campaign(spec, store)
+    # plan before launching only to report cache hits (key sets straight
+    # from the index — no record bodies); workers re-plan against live
+    # state themselves
+    plan = plan_campaign(spec, IndexKeyView(index))
     say(
         f"fleet for campaign {spec.name!r}: {plan.n_total} cells "
         f"({plan.n_cached} cached, {len(plan.todo)} to run) via "
@@ -265,7 +273,7 @@ def run_fleet(
     for shard, code in exit_codes.items():
         if code != 0:
             say(f"  worker {shard} exited with {code} (see logs/)")
-    merge = merge_shards(directory, progress=progress)
+    merge = merge_shards(directory, progress=progress, index=index)
     final_store = ResultStore(directory)
     try:
         records = collect_records(spec, final_store)

@@ -2,8 +2,12 @@
 
 The merge is a pure fold over append-only inputs, so it is safe to run
 at any time — mid-fleet for a progress snapshot, after the fleet, or
-repeatedly (re-merging is a no-op).  Rules, applied shard-by-shard in
-sorted name order for determinism:
+repeatedly (re-merging is a no-op).  It runs through the campaign's
+:class:`~repro.campaign.progress.ProgressIndex`, so one pass examines
+only the shard records appended since the previous pass — O(new bytes),
+not O(everything merged so far) — and a warm re-merge reads nothing at
+all.  Rules, applied in scan order (shards sorted by name, records in
+append order) for determinism:
 
 * a key not yet in ``results.jsonl`` is appended (**new**);
 * an ``ok`` record supersedes a stored ``error`` for the same key
@@ -20,17 +24,24 @@ costs nothing.  Lease files for merged cells are pruned.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.campaign.distrib.lease import LeaseBoard
-from repro.campaign.store import SHARDS_DIR, ResultStore, iter_jsonl_records
+from repro.campaign.progress import ProgressIndex
+from repro.campaign.store import SHARDS_DIR, CellRecord
 
 
 @dataclass(frozen=True)
 class MergeStats:
-    """What one :func:`merge_shards` pass did."""
+    """What one :func:`merge_shards` pass did.
+
+    ``n_shard_records`` counts the shard records *examined* this pass —
+    with a warm index that is only what was appended since the last
+    merge, so a no-op re-merge reports zero.
+    """
 
     n_shards: int
     n_shard_records: int
@@ -48,35 +59,103 @@ def merge_shards(
     directory: str,
     prune_leases: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    index: Optional[ProgressIndex] = None,
 ) -> MergeStats:
-    """Merge every ``shards/*.jsonl`` into ``<directory>/results.jsonl``."""
+    """Merge every ``shards/*.jsonl`` into ``<directory>/results.jsonl``.
+
+    The merge keeps its own index, ``index/merge.json`` — *not* the
+    ``progress`` index the workers and the status dashboard share.  An
+    index's offsets record what *its* consumer has processed; the
+    worker loop consuming a shard append for completion accounting must
+    not mark it merged.  Pass a held *index* (the fleet launcher does,
+    across its pre- and post-fleet merges) to reuse in-memory scan
+    state; otherwise the persisted file is loaded, so independent
+    ``campaign merge`` invocations stay incremental too.
+    """
     say = progress or (lambda _msg: None)
     directory_p = Path(directory)
-    store = ResultStore(directory_p)
-    shards_dir = directory_p / SHARDS_DIR
-    shard_paths = (
-        sorted(shards_dir.glob("*.jsonl")) if shards_dir.exists() else []
+    idx = (
+        index
+        if index is not None
+        else ProgressIndex(directory_p, name="merge", autosave=False)
     )
-    n_records = n_new = n_upgraded = n_duplicate = 0
-    for path in shard_paths:
-        for record in iter_jsonl_records(path):
-            n_records += 1
-            existing = store.get(record.key)
-            if existing is None:
-                store.put(record)
-                n_new += 1
-            elif not existing.ok and record.ok:
-                store.put(record)
-                n_upgraded += 1
-            else:
-                n_duplicate += 1
+    shard_prefix = SHARDS_DIR + "/"
+    results_path = directory_p / idx.results_file
+
+    # Autosave stays off for the whole pass: a refresh must never
+    # persist shard offsets before the records behind them are durably
+    # appended to results.jsonl — a kill in that window would mark them
+    # merged without merging them.  The explicit save below happens
+    # only after the appends are fsynced (a crash before it just means
+    # the next pass re-examines and dedupes).
+    autosave_prev, idx.autosave = idx.autosave, False
+    n_shard_records = n_new = n_upgraded = n_duplicate = 0
+    merged: Optional[Dict[str, str]] = None
+    dirty = False
+    try:
+        # Loop until quiescent: each refresh consumes our own results
+        # appends AND any shard records workers appended while we were
+        # merging (the docstring blesses mid-fleet merges) — a record
+        # the index consumes must be processed, or it would be marked
+        # merged without ever landing in results.jsonl.
+        while True:
+            batch: List[Tuple[str, CellRecord]] = []
+
+            def _collect(rel: str, record: CellRecord) -> None:
+                if rel.startswith(shard_prefix):
+                    batch.append((rel, record))
+
+            stats = idx.refresh(on_record=_collect)
+            dirty = dirty or bool(
+                stats.n_new_records or stats.n_rescans or stats.n_dropped
+            )
+            if merged is None:
+                # the merged file's current key → status, per the index
+                # (file-local last-write-wins, how a reload replays it)
+                results_state = idx.results_state()
+                merged = (
+                    dict(results_state.keys)
+                    if results_state is not None
+                    else {}
+                )
+            if not batch:
+                break
+            n_shard_records += len(batch)
+            to_append: List[CellRecord] = []
+            for _rel, record in batch:
+                current = merged.get(record.key)
+                if current is None:
+                    merged[record.key] = record.status
+                    to_append.append(record)
+                    n_new += 1
+                elif current != "ok" and record.ok:
+                    merged[record.key] = "ok"
+                    to_append.append(record)
+                    n_upgraded += 1
+                else:
+                    n_duplicate += 1
+            if to_append:
+                results_path.parent.mkdir(parents=True, exist_ok=True)
+                with results_path.open("a", encoding="utf-8") as fh:
+                    for record in to_append:
+                        fh.write(record.to_json() + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        if dirty:
+            # persist only when something was consumed (a warm no-op
+            # pass must not pay the O(key-map) serialization), and only
+            # now that every consumed record is durable in results.jsonl
+            idx.save()
+    finally:
+        idx.autosave = autosave_prev
+
     n_pruned = 0
     if prune_leases:
         board = LeaseBoard(directory_p)
-        n_pruned = board.prune(store.keys())
+        n_pruned = board.prune(merged or {})
     stats = MergeStats(
-        n_shards=len(shard_paths),
-        n_shard_records=n_records,
+        n_shards=len(idx.shard_states()),
+        n_shard_records=n_shard_records,
         n_new=n_new,
         n_upgraded=n_upgraded,
         n_duplicate=n_duplicate,

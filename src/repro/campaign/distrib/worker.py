@@ -5,8 +5,10 @@ A worker is pointed at a campaign directory that already holds
 writes it).  It expands the spec exactly like the in-process executor,
 then loops:
 
-1. scan ``results.jsonl`` plus every ``shards/*.jsonl`` for cells that
-   already have a record anywhere (merged or not);
+1. refresh the shared :class:`~repro.campaign.progress.ProgressIndex`
+   — an O(appended-bytes) scan of ``results.jsonl`` plus every
+   ``shards/*.jsonl`` — for cells that already have a record anywhere
+   (merged or not);
 2. for each missing cell, in deterministic expansion order, try to
    acquire its lease; on success re-check completion (a cell finished
    and released by another worker between our scan and the acquire must
@@ -32,13 +34,12 @@ from pathlib import Path
 from typing import Callable, Optional, Set
 
 from repro.campaign.distrib.lease import LeaseBoard
+from repro.campaign.progress import ProgressIndex
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import (
-    RESULTS_FILE,
     SHARDS_DIR,
     SPEC_FILE,
     ResultStore,
-    iter_jsonl_records,
 )
 from repro.util.errors import ConfigurationError
 
@@ -59,23 +60,22 @@ def shard_path(directory: Path, shard: str) -> Path:
     return Path(directory) / SHARDS_DIR / f"{shard}.jsonl"
 
 
-def known_keys(directory: Path) -> Set[str]:
+def known_keys(
+    directory: Path, index: Optional[ProgressIndex] = None
+) -> Set[str]:
     """Keys with a record anywhere: merged results or any shard.
 
     Error records count — failures are remembered, not retried, exactly
     like the in-process executor; ``--retry-failed`` is the explicit
-    path back.
+    path back.  Scans go through the shared progress index, so a warm
+    call costs O(bytes appended since the last one); pass a held
+    *index* to reuse in-memory state instead of reloading the
+    persisted file.
     """
-    directory = Path(directory)
-    keys: Set[str] = set()
-    for record in iter_jsonl_records(directory / RESULTS_FILE):
-        keys.add(record.key)
-    shards = directory / SHARDS_DIR
-    if shards.exists():
-        for path in sorted(shards.glob("*.jsonl")):
-            for record in iter_jsonl_records(path):
-                keys.add(record.key)
-    return keys
+    if index is None:
+        index = ProgressIndex(Path(directory))
+    index.refresh()
+    return index.keys()
 
 
 def load_spec(directory: Path) -> CampaignSpec:
@@ -136,6 +136,10 @@ def run_worker(
     shard_store = ResultStore(
         directory_p, results_file=f"{SHARDS_DIR}/{shard}.jsonl"
     )
+    # all workers (and the fleet launcher, merge, and status) share one
+    # persisted index, so every completion scan anywhere in the fleet
+    # reads only bytes nobody has indexed yet
+    index = ProgressIndex(directory_p)
     board = LeaseBoard(directory_p, owner=owner, ttl_s=ttl_s, clock=clock)
     hb_interval = heartbeat_interval_s or max(ttl_s / 4.0, 0.05)
 
@@ -146,13 +150,14 @@ def run_worker(
     )
     while True:
         n_passes += 1
-        done = known_keys(directory_p)
+        done = known_keys(directory_p, index)
         pending = [(k, c) for k, c in cells.items() if k not in done]
         if not pending:
             break
         claimed_this_pass = 0
         for key, cell in pending:
             if max_cells is not None and n_executed >= max_cells:
+                index.save()  # autosaves are throttled; exit fresh
                 return WorkerSummary(
                     shard=shard,
                     owner=board.owner,
@@ -163,7 +168,7 @@ def run_worker(
                 )
             if not board.acquire(key):
                 continue
-            if key in known_keys(directory_p):
+            if key in known_keys(directory_p, index):
                 # finished-and-released elsewhere after our pass began
                 board.release(key)
                 continue
@@ -196,6 +201,7 @@ def run_worker(
             # everything missing is leased out; a dead owner's lease
             # expires after ttl_s, so keep rescanning
             time.sleep(poll_s)
+    index.save()  # autosaves are throttled; leave the index fresh
     return WorkerSummary(
         shard=shard,
         owner=board.owner,

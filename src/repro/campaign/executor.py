@@ -267,6 +267,11 @@ def run_campaign(
         # pool content-addressed cells
         store = ResultStore(directory)
         store.write_spec(spec.to_dict(), overwrite=allow_spec_update)
+    else:
+        # a shared store may be long-lived while other campaigns append
+        # to its directory; fold in anything appended since it was
+        # loaded (O(appended bytes)) before planning against it
+        store.refresh()
 
     plan = plan_campaign(
         spec, store, retry_failed=retry_failed, retry_filter=retry_filter

@@ -22,17 +22,22 @@ runs, or rsync'd between machines without tooling.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.metrics.summary import SummaryMetrics
+from repro.metrics.summary import SummaryMetrics, deterministic_view
 from repro.util.errors import ConfigurationError
+
+logger = logging.getLogger(__name__)
 
 RESULTS_FILE = "results.jsonl"
 SPEC_FILE = "campaign.json"
 SHARDS_DIR = "shards"
+#: cached progress indexes (see :mod:`repro.campaign.progress`) live here
+INDEX_DIR = "index"
 
 
 @dataclass(frozen=True)
@@ -87,24 +92,94 @@ class CellRecord:
         )
 
 
+def read_jsonl_since(
+    path: Path, offset: int = 0
+) -> Tuple[List[CellRecord], int, bool]:
+    """Parse the complete records appended to *path* after byte *offset*.
+
+    Returns ``(records, new_offset, torn)``.  Only newline-terminated
+    lines are consumed: ``new_offset`` always lands on a line boundary,
+    so a caller that persists it re-reads nothing on the next pass.  A
+    trailing fragment without a newline — a writer killed mid-append,
+    or an append happening *right now* — is left unconsumed and flagged
+    via ``torn``; it is re-examined (and, once its newline lands,
+    parsed) on the next call.  A newline-terminated line that fails to
+    parse can never heal, so it is skipped with a warning and its bytes
+    are consumed.
+    """
+    records: List[CellRecord] = []
+    torn = False
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+    except FileNotFoundError:
+        return records, offset, torn
+    pos = offset
+    lines = data.split(b"\n")
+    tail = lines.pop()  # bytes after the last newline; b"" if none
+    for raw in lines:
+        pos += len(raw) + 1
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            records.append(CellRecord.from_json(line.decode("utf-8")))
+        except (
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+            UnicodeDecodeError,
+        ):
+            logger.warning(
+                "skipping unparsable record in %s at byte %d",
+                path,
+                pos - len(raw) - 1,
+            )
+    if tail.strip():
+        torn = True
+    return records, pos, torn
+
+
 def iter_jsonl_records(path: Path):
     """Yield the valid :class:`CellRecord` s of a JSONL file, in order.
 
-    Torn tail lines (a writer killed mid-append) are silently dropped —
-    that cell simply re-runs.  Shared by the store loader, the shard
-    merger, and the distributed worker's completion scan.
+    Torn tail lines (a writer killed mid-append) are skipped with a
+    warning — that cell simply re-runs.  Shared by the store loader, the
+    shard merger, and the distributed worker's completion scan.
     """
-    if not path.exists():
-        return
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                yield CellRecord.from_json(line)
-            except (json.JSONDecodeError, KeyError, TypeError):
-                continue
+    records, _offset, torn = read_jsonl_since(Path(path), 0)
+    if torn:
+        logger.warning(
+            "torn trailing line in %s (writer killed mid-append?) — "
+            "skipped; the cell re-runs",
+            path,
+        )
+    yield from records
+
+
+def invalidate_indexes(directory: Optional[os.PathLike]) -> int:
+    """Delete every cached progress index under *directory*.
+
+    Called whenever a tracked file is rewritten in place (``compact``):
+    the indexes would notice the inode change and rescan anyway, but
+    removing them makes the invalidation explicit and reclaims the
+    space.  Returns the number of index files removed.
+    """
+    if directory is None:
+        return 0
+    index_dir = Path(directory) / INDEX_DIR
+    if not index_dir.is_dir():
+        return 0
+    removed = 0
+    for path in index_dir.glob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except FileNotFoundError:  # pragma: no cover - benign race
+            pass
+    return removed
 
 
 class ResultStore:
@@ -114,20 +189,29 @@ class ResultStore:
     one-shot figure runs that want the campaign machinery without a
     cache directory).  *results_file* relocates the JSONL inside the
     directory — distributed workers use ``shards/<name>.jsonl`` so many
-    writers never interleave appends into one file.
+    writers never interleave appends into one file.  ``load=False``
+    skips replaying the JSONL into memory, for callers that only need
+    the spec paths (the fleet launcher, which accounts completion via
+    the progress index instead).
     """
 
     def __init__(
         self,
         directory: Optional[os.PathLike] = None,
         results_file: str = RESULTS_FILE,
+        load: bool = True,
     ) -> None:
         self.directory: Optional[Path] = (
             Path(directory) if directory is not None else None
         )
         self._results_file = results_file
         self._records: Dict[str, CellRecord] = {}
-        if self.directory is not None:
+        #: byte offset up to which the JSONL has been folded into memory,
+        #: and the inode it belonged to — `refresh()` reads only appended
+        #: bytes unless the file was rewritten (inode change) or shrank
+        self._load_offset = 0
+        self._load_inode: Optional[int] = None
+        if self.directory is not None and load:
             self._load()
 
     def _ensure_dir(self) -> None:
@@ -156,8 +240,54 @@ class ResultStore:
         path = self.results_path
         if path is None:
             return
-        for record in iter_jsonl_records(path):
+        self._records.clear()
+        self._load_offset = 0
+        try:
+            self._load_inode = path.stat().st_ino
+        except FileNotFoundError:
+            self._load_inode = None
+            return
+        records, self._load_offset, torn = read_jsonl_since(path, 0)
+        if torn:
+            logger.warning(
+                "torn trailing line in %s (writer killed mid-append?) — "
+                "skipped; the cell re-runs",
+                path,
+            )
+        for record in records:
             self._records[record.key] = record
+
+    def refresh(self) -> int:
+        """Fold records appended since the last load into memory.
+
+        Reads only the bytes past the remembered offset — O(appended),
+        not O(file).  A file that shrank or was replaced (``compact``,
+        rsync) triggers a full reload; a vanished file empties the
+        store.  Returns the number of records folded in.
+        """
+        path = self.results_path
+        if path is None:
+            return 0
+        try:
+            st = path.stat()
+        except FileNotFoundError:
+            n_before = len(self._records)
+            self._records.clear()
+            self._load_offset = 0
+            self._load_inode = None
+            return -n_before if n_before else 0
+        if st.st_ino != self._load_inode or st.st_size < self._load_offset:
+            n_before = len(self._records)
+            self._load()
+            return len(self._records) - n_before
+        if st.st_size == self._load_offset:
+            return 0
+        records, self._load_offset, _torn = read_jsonl_since(
+            path, self._load_offset
+        )
+        for record in records:
+            self._records[record.key] = record
+        return len(records)
 
     def write_spec(
         self, spec_dict: Mapping[str, object], overwrite: bool = False
@@ -202,6 +332,12 @@ class ResultStore:
                 fh.write(record.to_json() + "\n")
                 fh.flush()
                 os.fsync(fh.fileno())
+                # our own append is already in memory — advance the
+                # refresh offset past it (O_APPEND writes land at the
+                # end, so tell() after the flush is a line boundary)
+                self._load_offset = fh.tell()
+                if self._load_inode is None:
+                    self._load_inode = os.fstat(fh.fileno()).st_ino
 
     def get(self, key: str) -> Optional[CellRecord]:
         return self._records.get(key)
@@ -243,7 +379,9 @@ class ResultStore:
         ``error`` records entirely, so those cells re-run on the next
         campaign pass.  The rewrite is atomic (temp file + rename): a
         kill mid-gc leaves either the old or the new file, never a
-        truncated one.
+        truncated one.  Every cached progress index under the directory
+        is invalidated — the rewrite moves bytes that index offsets
+        point into.
         """
         n_errors = 0
         if drop_errors:
@@ -262,12 +400,47 @@ class ResultStore:
                     fh.write(record.to_json() + "\n")
                 fh.flush()
                 os.fsync(fh.fileno())
+                new_offset = fh.tell()
             os.replace(tmp, path)
+            self._load_offset = new_offset
+            self._load_inode = path.stat().st_ino
+            invalidate_indexes(self.directory)
         return CompactStats(
             n_kept=len(self._records),
             n_superseded=max(0, n_superseded),
             n_errors_dropped=n_errors,
         )
+
+    def canonical_bytes(self) -> bytes:
+        """A machine- and schedule-independent serialization of the
+        merged state: one line per key in sorted order, with wall-clock
+        fields (``elapsed_s``, the summary's wall-clock metrics)
+        stripped.  Two stores hold the same results iff their canonical
+        bytes are equal — the equivalence used to assert that a
+        kill-and-resume fleet matches a solo run byte for byte.
+        """
+        lines = []
+        for key in sorted(self._records):
+            r = self._records[key]
+            lines.append(
+                json.dumps(
+                    {
+                        "key": r.key,
+                        "config": dict(r.config),
+                        "status": r.status,
+                        "summary": (
+                            deterministic_view(dict(r.summary))
+                            if r.summary
+                            else None
+                        ),
+                        "payload": dict(r.payload) if r.payload else None,
+                        "error": r.error,
+                    },
+                    sort_keys=True,
+                    allow_nan=False,
+                )
+            )
+        return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
 
 
 @dataclass(frozen=True)

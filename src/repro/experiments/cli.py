@@ -27,6 +27,7 @@ Distributed campaigns (cell leasing + per-worker shards)::
         --ssh-hosts node1 node2 node3 --remote-python python3
     repro-hybrid campaign worker --dir /shared/runs/big --shard node1-0
     repro-hybrid campaign merge --dir /shared/runs/big
+    repro-hybrid campaign status --dir /shared/runs/big --watch
 """
 
 from __future__ import annotations
@@ -297,6 +298,24 @@ def make_campaign_parser() -> argparse.ArgumentParser:
 
     status_p = sub.add_parser("status", help="progress of a campaign dir")
     status_p.add_argument("--dir", dest="directory", required=True)
+    status_p.add_argument(
+        "--watch", action="store_true",
+        help="refreshing fleet dashboard: per-worker throughput, "
+        "live/expired leases, error counts, grid ETA",
+    )
+    status_p.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch refreshes",
+    )
+    status_p.add_argument(
+        "--frames", type=int, default=None,
+        help="render this many --watch frames then exit "
+        "(default: run until interrupted)",
+    )
+    status_p.add_argument(
+        "--window", type=float, default=120.0,
+        help="sliding window in seconds for --watch throughput/ETA",
+    )
 
     report_p = sub.add_parser("report", help="pivoted summary / diff")
     report_p.add_argument("--dir", dest="directory", required=True)
@@ -391,7 +410,6 @@ def campaign_main(argv: List[str]) -> int:
         load_campaign,
         report_text,
         run_campaign,
-        status_text,
     )
 
     args = make_campaign_parser().parse_args(argv)
@@ -489,9 +507,17 @@ def campaign_main(argv: List[str]) -> int:
         )
         return 0
     if args.command == "status":
-        spec_dict, records = load_campaign(args.directory)
-        print(status_text(spec_dict, records))
-        _print_distrib_status(args.directory)
+        from repro.campaign.progress import status_report, watch_status
+
+        if args.watch:
+            return watch_status(
+                args.directory,
+                interval_s=args.interval,
+                frames=args.frames,
+                window_s=args.window,
+                clear=sys.stdout.isatty(),
+            )
+        print(status_report(args.directory))
         return 0
     if args.command == "report":
         _, records = load_campaign(args.directory)
@@ -512,29 +538,6 @@ def campaign_main(argv: List[str]) -> int:
             print(report_text(records, by=by, metrics=metrics))
         return 0
     raise AssertionError(args.command)  # pragma: no cover
-
-
-def _print_distrib_status(directory: str) -> None:
-    """Append lease/shard state to ``campaign status`` when present."""
-    import time
-
-    from repro.campaign.distrib import LeaseBoard
-    from repro.campaign.store import SHARDS_DIR, iter_jsonl_records
-    from pathlib import Path
-
-    shards_dir = Path(directory) / SHARDS_DIR
-    if shards_dir.exists():
-        for path in sorted(shards_dir.glob("*.jsonl")):
-            n = sum(1 for _ in iter_jsonl_records(path))
-            print(f"shard {path.stem}: {n} records (unmerged until "
-                  "'campaign merge')")
-    now = time.time()
-    for lease in LeaseBoard(directory).active():
-        state = "EXPIRED" if lease.expired(now) else "live"
-        print(
-            f"lease {lease.key}: {state}, owner {lease.owner}, "
-            f"heartbeat {lease.age_s(now):.0f}s ago (ttl {lease.ttl_s:.0f}s)"
-        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -280,8 +280,19 @@ class TestMerge:
         first = merge_shards(d)
         assert first.n_new == 2 and first.changed
         before = (d / "results.jsonl").read_bytes()
+        # warm re-merge: the index remembers the shard offsets, so the
+        # pass examines nothing at all
         second = merge_shards(d)
-        assert not second.changed and second.n_duplicate == 2
+        assert not second.changed and second.n_shard_records == 0
+        assert (d / "results.jsonl").read_bytes() == before
+        # cold re-merge (fresh index): every record re-examined, all
+        # deduped, file untouched
+        from repro.campaign.progress import ProgressIndex
+
+        cold = merge_shards(
+            d, index=ProgressIndex(d, name="merge-cold")
+        )
+        assert not cold.changed and cold.n_duplicate == 2
         assert (d / "results.jsonl").read_bytes() == before
 
     def test_ok_beats_error_across_shards(self, tmp_path):

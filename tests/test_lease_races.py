@@ -1,0 +1,203 @@
+"""Seeded-random property tests for the lease protocol under churn.
+
+Each round drives N concurrent claimer threads over a shared campaign
+directory.  Claimers follow the worker loop's discipline — completion
+check (through the shared :class:`ProgressIndex`), acquire, post-acquire
+re-check, execute, append to a private shard, release — but a seeded
+RNG injects kill points: a claimer may "die" (stop without releasing,
+exactly what SIGKILL leaves behind) right after acquiring, or after
+executing but before releasing.
+
+Properties asserted, per the protocol's contract:
+
+* **at-most-once while leases are live** — phase 1 runs under a frozen
+  fake clock, so no lease can expire: every cell executes at most once
+  no matter the interleaving;
+* **eventual completion after TTL eviction** — phase 2 advances the
+  clock past the TTL and sends in rescue claimers: every cell ends up
+  executed, and the only possible duplicates are cells whose first
+  executor died *between* executing and releasing (at-least-once, the
+  documented merge-dedupes case).
+"""
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.campaign import CellRecord, LeaseBoard, ProgressIndex, ResultStore
+from repro.campaign.distrib.worker import known_keys
+
+N_KEYS = 8
+N_CLAIMERS = 4
+TTL_S = 10.0
+
+# kill points a claimer can hit, per cell, chosen by the seeded RNG
+ALIVE = "alive"
+DIE_AFTER_ACQUIRE = "die-after-acquire"
+DIE_AFTER_EXECUTE = "die-after-execute"
+
+
+class FakeClock:
+    """Thread-shared monotonic-ish clock; only the test advances it."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            return self.now
+
+    def advance(self, dt):
+        with self._lock:
+            self.now += dt
+
+
+class Ledger:
+    """Every execution that actually happened, with its executor."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.executions = []
+
+    def note(self, key, owner):
+        with self._lock:
+            self.executions.append((key, owner))
+
+    def per_key(self):
+        counts = {}
+        for key, _owner in self.executions:
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def chaos_claimer(directory, owner, keys, clock, rng, ledger, die_frac):
+    """One worker-loop pass with seeded kill injection.
+
+    Returns the set of keys this claimer died on (empty if it survived
+    the pass).  Mirrors ``run_worker``'s structure: shared index scan,
+    acquire, post-acquire re-check, execute, shard append, release.
+    """
+    board = LeaseBoard(directory, owner=owner, ttl_s=TTL_S, clock=clock)
+    index = ProgressIndex(directory)
+    shard = ResultStore(directory, results_file=f"shards/{owner}.jsonl")
+    order = list(keys)
+    rng.shuffle(order)
+    for key in order:
+        index.refresh()
+        if key in index.keys():
+            continue
+        if not board.acquire(key):
+            continue
+        index.refresh()
+        if key in index.keys():
+            board.release(key)
+            continue
+        fate = (
+            rng.choice([DIE_AFTER_ACQUIRE, DIE_AFTER_EXECUTE])
+            if rng.random() < die_frac
+            else ALIVE
+        )
+        if fate == DIE_AFTER_ACQUIRE:
+            return {key}  # lease stranded, nothing executed
+        ledger.note(key, owner)
+        shard.put(
+            CellRecord(key=key, config={"cell": key}, status="ok",
+                       payload={"by": owner})
+        )
+        if fate == DIE_AFTER_EXECUTE:
+            return {key}  # record written, lease stranded
+        board.release(key)
+    return set()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_at_most_once_live_then_eventual_completion(tmp_path, seed):
+    master = random.Random(seed)
+    clock = FakeClock()
+    ledger = Ledger()
+    keys = [f"cell{i:02d}" for i in range(N_KEYS)]
+    claimer_rngs = [
+        random.Random(master.randrange(2**32)) for _ in range(N_CLAIMERS)
+    ]
+
+    # --- phase 1: frozen clock, injected deaths ------------------------
+    with ThreadPoolExecutor(N_CLAIMERS) as pool:
+        died_on = pool.map(
+            lambda args: chaos_claimer(
+                tmp_path, f"w{args[0]}", keys, clock, args[1], ledger,
+                die_frac=0.4,
+            ),
+            list(enumerate(claimer_rngs)),
+        )
+        stranded_after_execute = set()
+        stranded_any = set()
+        for rng_died in died_on:
+            stranded_any |= rng_died
+        phase1 = ledger.per_key()
+    executed_then_died = {
+        k for k in stranded_any if k in phase1
+    }
+    stranded_after_execute |= executed_then_died
+
+    # at-most-once while no lease can expire: the frozen clock means
+    # every acquire raced only live leases and completion records
+    assert all(count == 1 for count in phase1.values()), phase1
+
+    # stranded leases really are still on disk for keys that died
+    # pre-execution (nothing else could claim them in phase 1)
+    board = LeaseBoard(tmp_path, owner="observer", ttl_s=TTL_S, clock=clock)
+    leased_keys = {lease.key for lease in board.active()}
+    assert (stranded_any - executed_then_died) <= leased_keys
+
+    # --- phase 2: TTL expiry, rescue claimers --------------------------
+    clock.advance(TTL_S + 1.0)
+    for attempt in range(10):
+        rescue_rng = random.Random(master.randrange(2**32))
+        chaos_claimer(
+            tmp_path, f"rescue{attempt}", keys, clock, rescue_rng, ledger,
+            die_frac=0.0,
+        )
+        if set(known_keys(tmp_path)) >= set(keys):
+            break
+    final = ledger.per_key()
+
+    # eventual completion: every cell has a record
+    assert set(known_keys(tmp_path)) >= set(keys)
+    assert set(final) == set(keys)
+    for key, count in final.items():
+        if key in stranded_after_execute:
+            # record landed but the lease stranded: a rescuer saw the
+            # record (index) and skipped, OR the eviction raced the
+            # append — at most one duplicate either way
+            assert count <= 2, (key, count)
+        else:
+            assert count == 1, (key, count)
+
+
+@pytest.mark.parametrize("seed", [10, 11])
+def test_no_deaths_means_exactly_once(tmp_path, seed):
+    """Control experiment: without kill injection, concurrency alone
+    never produces a duplicate (the lease + re-check discipline)."""
+    master = random.Random(seed)
+    clock = FakeClock()
+    ledger = Ledger()
+    keys = [f"cell{i:02d}" for i in range(N_KEYS)]
+    with ThreadPoolExecutor(N_CLAIMERS) as pool:
+        list(
+            pool.map(
+                lambda i: chaos_claimer(
+                    tmp_path, f"w{i}", keys, clock,
+                    random.Random(master.randrange(2**32)), ledger,
+                    die_frac=0.0,
+                ),
+                range(N_CLAIMERS),
+            )
+        )
+    counts = ledger.per_key()
+    assert counts == {key: 1 for key in keys}
+    # no leases left behind by a clean pass
+    board = LeaseBoard(tmp_path, owner="observer", ttl_s=TTL_S, clock=clock)
+    assert board.active() == []

@@ -1,0 +1,242 @@
+"""Merge idempotency under adversarial shard contents and orders.
+
+The merge's contract: given any arrangement of shard files — shuffled
+record orders, duplicated records (lease-expiry races), error records
+later healed by an ``ok`` elsewhere — ``results.jsonl`` must
+
+* be **byte-identical across re-merges** of the same directory, warm
+  (index remembers everything) or cold (fresh index re-reads all
+  shards and dedupes everything); and
+* reach the same **canonical** state regardless of how the records
+  were distributed and ordered across shards.
+
+Records for a given key carry identical payloads (cells are
+deterministic — that is exactly why conflicting shards are harmless).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.campaign import CellRecord, ProgressIndex, ResultStore, merge_shards
+
+
+def make_record(key, status):
+    # identical content per (key, status): what deterministic cells give
+    return CellRecord(
+        key=key,
+        config={"cell": key, "seed": 7},
+        status=status,
+        payload={"value": int(key[4:], 10) * 3} if status == "ok" else None,
+        error=None if status == "ok" else f"RuntimeError: {key} failed",
+        elapsed_s=1.0,
+    )
+
+
+def adversarial_records(rng, n_keys):
+    """A multiset of records: every key ok at least once, ~1/3 of keys
+    also carry error records (error-then-ok healing), ~1/3 duplicated
+    (two workers executed the cell during a lease-expiry race)."""
+    records = []
+    for i in range(n_keys):
+        key = f"cell{i:04d}"
+        records.append(make_record(key, "ok"))
+        if rng.random() < 0.33:
+            records.append(make_record(key, "error"))
+        if rng.random() < 0.33:
+            records.append(make_record(key, "ok"))
+    rng.shuffle(records)
+    return records
+
+
+def scatter_into_shards(directory, records, rng, n_shards):
+    for i, rec in enumerate(records):
+        shard = rng.randrange(n_shards)
+        store = ResultStore(
+            directory, results_file=f"shards/s{shard:02d}.jsonl"
+        )
+        store.put(rec)
+
+
+def canonical_state(directory):
+    return ResultStore(directory).canonical_bytes()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_remerge_byte_identical_warm_and_cold(tmp_path, seed):
+    rng = random.Random(seed)
+    d = tmp_path / "c"
+    records = adversarial_records(rng, n_keys=30)
+    scatter_into_shards(d, records, rng, n_shards=4)
+
+    first = merge_shards(d)
+    assert first.changed
+    merged_bytes = (d / "results.jsonl").read_bytes()
+
+    # warm re-merge: nothing examined, file untouched
+    warm = merge_shards(d)
+    assert not warm.changed and warm.n_shard_records == 0
+    assert (d / "results.jsonl").read_bytes() == merged_bytes
+
+    # cold re-merge (fresh index): every shard record re-examined and
+    # every one deduped — still byte-identical
+    cold = merge_shards(d, index=ProgressIndex(d, name="cold"))
+    assert not cold.changed
+    assert cold.n_shard_records == len(records)
+    assert cold.n_duplicate == len(records)
+    assert (d / "results.jsonl").read_bytes() == merged_bytes
+
+    # and a third pass over the already-merged state: same bytes again
+    merge_shards(d, index=ProgressIndex(d, name="cold2"))
+    assert (d / "results.jsonl").read_bytes() == merged_bytes
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_error_then_ok_heals_to_ok_everywhere(tmp_path, seed):
+    rng = random.Random(seed)
+    d = tmp_path / "c"
+    scatter_into_shards(
+        d, adversarial_records(rng, n_keys=25), rng, n_shards=3
+    )
+    merge_shards(d)
+    store = ResultStore(d)
+    assert len(store) == 25
+    assert store.failed_keys() == frozenset()  # every key had an ok
+
+
+def test_error_only_keys_stay_error_until_healed(tmp_path):
+    d = tmp_path / "c"
+    ResultStore(d, results_file="shards/a.jsonl").put(
+        make_record("cell0001", "error")
+    )
+    merge_shards(d)
+    assert not ResultStore(d).get("cell0001").ok
+    # the healing record arrives later in another shard
+    ResultStore(d, results_file="shards/b.jsonl").put(
+        make_record("cell0001", "ok")
+    )
+    stats = merge_shards(d)
+    assert stats.n_upgraded == 1
+    assert ResultStore(d).get("cell0001").ok
+    # the superseded error line is still in the history until gc
+    lines = (d / "results.jsonl").read_text().strip().splitlines()
+    assert len(lines) == 2
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_distribution_independent_canonical_state(tmp_path, seed):
+    """However the same record multiset is scattered and ordered across
+    shards, the merged store reaches the same canonical state."""
+    rng_a = random.Random(seed)
+    rng_b = random.Random(seed + 1000)
+    records = adversarial_records(random.Random(seed), n_keys=20)
+
+    d_a, d_b = tmp_path / "a", tmp_path / "b"
+    scatter_into_shards(d_a, list(records), rng_a, n_shards=2)
+    shuffled = list(records)
+    rng_b.shuffle(shuffled)
+    scatter_into_shards(d_b, shuffled, rng_b, n_shards=5)
+
+    merge_shards(d_a)
+    merge_shards(d_b)
+    assert canonical_state(d_a) == canonical_state(d_b)
+
+
+class RacingIndex(ProgressIndex):
+    """A merge index whose first refresh is immediately followed by a
+    concurrent worker appending — the mid-fleet merge race: records the
+    index consumes after the merge's first scan must still be merged,
+    not silently marked consumed."""
+
+    def __init__(self, directory, late_records):
+        super().__init__(directory, name="merge", autosave=False)
+        self._late = list(late_records)
+
+    def refresh(self, on_record=None):
+        stats = super().refresh(on_record)
+        if self._late:
+            store = ResultStore(
+                self.directory, results_file="shards/late.jsonl"
+            )
+            store.put(self._late.pop(0))
+        return stats
+
+
+def test_records_appended_during_merge_are_not_lost(tmp_path):
+    d = tmp_path / "c"
+    ResultStore(d, results_file="shards/early.jsonl").put(
+        make_record("cell0001", "ok")
+    )
+    late = [make_record("cell0002", "ok"), make_record("cell0003", "ok")]
+    stats = merge_shards(d, index=RacingIndex(d, late))
+    # the merge chased the concurrent appends to quiescence
+    assert stats.n_new == 3
+    assert set(ResultStore(d).keys()) == {
+        "cell0001", "cell0002", "cell0003",
+    }
+    # and a later plain merge (fresh default index) agrees nothing is
+    # missing — the consumed-but-unmerged bug would strand cells here
+    again = merge_shards(d)
+    assert not again.changed
+    assert set(ResultStore(d).keys()) == {
+        "cell0001", "cell0002", "cell0003",
+    }
+
+
+def test_noop_merge_does_not_rewrite_index(tmp_path):
+    d = tmp_path / "c"
+    ResultStore(d, results_file="shards/a.jsonl").put(
+        make_record("cell0001", "ok")
+    )
+    merge_shards(d)
+    index_file = d / "index" / "merge.json"
+    assert index_file.exists()
+    stamp = index_file.stat().st_mtime_ns
+    merge_shards(d)  # warm no-op: must not pay the O(key-map) rewrite
+    assert index_file.stat().st_mtime_ns == stamp
+
+
+def test_index_save_failure_is_tolerated(tmp_path, monkeypatch, caplog):
+    """A read-only campaign mount: status/scan paths keep working with
+    in-memory state instead of crashing on the cache write."""
+    import logging
+
+    d = tmp_path / "c"
+    ResultStore(d, results_file="shards/a.jsonl").put(
+        make_record("cell0001", "ok")
+    )
+
+    def deny(_src, _dst):
+        raise PermissionError("read-only file system")
+
+    monkeypatch.setattr("repro.campaign.progress.os.replace", deny)
+    with caplog.at_level(logging.INFO, "repro.campaign.progress"):
+        index = ProgressIndex(d)
+        index.refresh()
+    assert index.keys() == {"cell0001"}
+    assert not (d / "index" / "progress.json").exists()
+    assert any("not persisted" in m for m in caplog.messages)
+
+
+def test_gc_after_merge_keeps_one_line_per_key(tmp_path):
+    rng = random.Random(42)
+    d = tmp_path / "c"
+    records = adversarial_records(rng, n_keys=15)
+    scatter_into_shards(d, records, rng, n_shards=3)
+    merge_shards(d)
+    before = canonical_state(d)
+    stats = ResultStore(d).compact()
+    assert stats.n_kept == 15
+    lines = (d / "results.jsonl").read_text().strip().splitlines()
+    assert len(lines) == 15
+    assert {json.loads(l)["key"] for l in lines} == {
+        f"cell{i:04d}" for i in range(15)
+    }
+    assert canonical_state(d) == before
+    # compact invalidated the merge index; a cold merge re-examines
+    # everything and still changes nothing
+    again = merge_shards(d)
+    assert not again.changed
+    assert again.n_shard_records == len(records)
+    assert canonical_state(d) == before

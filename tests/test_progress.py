@@ -1,0 +1,620 @@
+"""The incremental progress index and the status/watch dashboard.
+
+Covers the tentpole properties:
+
+* warm refreshes read only appended bytes (never reopening unchanged
+  files), across process restarts via the persisted ``index/*.json``;
+* torn trailing lines are tolerated — never consumed, warned about
+  once, parsed once their newline lands;
+* a file that shrinks or is replaced (``compact``, rsync) triggers an
+  automatic full rescan of that file only;
+* ``compact`` explicitly invalidates every cached index;
+* golden snapshots of ``campaign status`` and a ``status --watch``
+  frame (shards, live/expired leases, throughput, ETA);
+* a kill-and-resume fleet run with the index produces results
+  canonically byte-identical to a solo run without it.
+"""
+
+import json
+import logging
+import os
+import re
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CellRecord,
+    IndexKeyView,
+    LeaseBoard,
+    LocalSubprocessBackend,
+    ProgressIndex,
+    ResultStore,
+    merge_shards,
+    plan_campaign,
+    run_campaign,
+    run_worker,
+)
+from repro.campaign.distrib.worker import known_keys
+from repro.campaign.progress import (
+    ThroughputTracker,
+    format_duration,
+    spec_cell_keys,
+    status_report,
+    take_snapshot,
+    watch_status,
+)
+from repro.campaign.store import iter_jsonl_records, read_jsonl_since
+from repro.util.errors import ConfigurationError
+
+SMALL = {
+    "name": "small",
+    "days": 2,
+    "target_load": 0.6,
+    "system_size": 512,
+    "mechanism": [None, "N&PAA"],
+    "seeds": [1, 2],
+}
+
+
+def record(key, status="ok", elapsed=1.0, payload=None):
+    return CellRecord(
+        key=key,
+        config={"seed": 1},
+        status=status,
+        payload=payload or {"x": 1},
+        error=None if status == "ok" else "boom",
+        elapsed_s=elapsed,
+    )
+
+
+def append_records(path: Path, records) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        for r in records:
+            fh.write(r.to_json() + "\n")
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestReadJsonlSince:
+    def test_reads_from_offset_only(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        append_records(path, [record("k1"), record("k2")])
+        all_records, offset, torn = read_jsonl_since(path, 0)
+        assert [r.key for r in all_records] == ["k1", "k2"]
+        assert offset == path.stat().st_size and not torn
+        append_records(path, [record("k3")])
+        new, offset2, torn = read_jsonl_since(path, offset)
+        assert [r.key for r in new] == ["k3"] and not torn
+        assert offset2 == path.stat().st_size
+
+    def test_torn_tail_not_consumed_then_healed(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        append_records(path, [record("k1")])
+        boundary = path.stat().st_size
+        line = record("k2").to_json()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(line[:10])  # killed mid-append
+        records, offset, torn = read_jsonl_since(path, 0)
+        assert [r.key for r in records] == ["k1"]
+        assert offset == boundary and torn
+        # the writer resumes: complete the record in place
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(line[10:] + "\n")
+        healed, offset2, torn = read_jsonl_since(path, offset)
+        assert [r.key for r in healed] == ["k2"] and not torn
+        assert offset2 == path.stat().st_size
+
+    def test_unparsable_complete_line_skipped_with_warning(
+        self, tmp_path, caplog
+    ):
+        path = tmp_path / "r.jsonl"
+        append_records(path, [record("k1")])
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write("{this is not json}\n")
+        append_records(path, [record("k2")])
+        with caplog.at_level(logging.WARNING, "repro.campaign.store"):
+            records, offset, torn = read_jsonl_since(path, 0)
+        assert [r.key for r in records] == ["k1", "k2"]
+        assert offset == path.stat().st_size and not torn
+        assert any("unparsable" in m for m in caplog.messages)
+
+    def test_iter_jsonl_records_warns_on_torn_tail(self, tmp_path, caplog):
+        """Regression for the crash-tolerance satellite: a truncated
+        fixture loses only the torn record, with a warning."""
+        path = tmp_path / "shard.jsonl"
+        append_records(path, [record("k1"), record("k2")])
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "k3", "config": {}, "sta')  # SIGKILL here
+        with caplog.at_level(logging.WARNING, "repro.campaign.store"):
+            records = list(iter_jsonl_records(path))
+        assert [r.key for r in records] == ["k1", "k2"]
+        assert any("torn trailing line" in m for m in caplog.messages)
+
+    def test_missing_file(self, tmp_path):
+        records, offset, torn = read_jsonl_since(tmp_path / "no.jsonl", 0)
+        assert records == [] and offset == 0 and not torn
+
+
+class TestProgressIndex:
+    def test_cold_then_warm_refresh(self, tmp_path):
+        d = tmp_path / "c"
+        append_records(d / "results.jsonl", [record("k1")])
+        append_records(d / "shards" / "w0.jsonl", [record("k2", "error")])
+        index = ProgressIndex(d)
+        cold = index.refresh()
+        assert cold.n_new_records == 2 and cold.n_rescans == 2
+        assert index.keys() == {"k1", "k2"}
+        assert index.statuses() == {"k1": "ok", "k2": "error"}
+        # warm, unchanged: zero bytes read, zero files rescanned
+        warm = index.refresh()
+        assert warm.n_bytes_read == 0 and warm.n_new_records == 0
+        assert warm.n_rescans == 0
+        # append one record: only its bytes are read
+        line_len = len(record("k3").to_json()) + 1
+        append_records(d / "shards" / "w0.jsonl", [record("k3")])
+        delta = index.refresh()
+        assert delta.n_bytes_read == line_len
+        assert delta.n_new_records == 1 and delta.n_rescans == 0
+        assert index.keys() == {"k1", "k2", "k3"}
+
+    def test_persists_across_instances(self, tmp_path):
+        d = tmp_path / "c"
+        append_records(d / "results.jsonl", [record("k1"), record("k2")])
+        ProgressIndex(d).refresh()
+        assert (d / "index" / "progress.json").exists()
+        again = ProgressIndex(d)  # a different process, later
+        assert again.keys() == {"k1", "k2"}  # loaded, pre-refresh
+        warm = again.refresh()
+        assert warm.n_bytes_read == 0 and warm.n_rescans == 0
+
+    def test_shrunk_file_triggers_full_rescan(self, tmp_path):
+        d = tmp_path / "c"
+        results = d / "results.jsonl"
+        append_records(results, [record("k1"), record("k2")])
+        index = ProgressIndex(d)
+        index.refresh()
+        # truncate to the first record (keep the inode)
+        lines = results.read_text().splitlines()
+        with results.open("r+", encoding="utf-8") as fh:
+            fh.truncate(len(lines[0]) + 1)
+        stats = index.refresh()
+        assert stats.n_rescans == 1
+        assert index.keys() == {"k1"}
+
+    def test_replaced_file_triggers_full_rescan(self, tmp_path):
+        d = tmp_path / "c"
+        results = d / "results.jsonl"
+        append_records(results, [record("k1")])
+        index = ProgressIndex(d)
+        index.refresh()
+        tmp = results.with_name("new.tmp")
+        append_records(tmp, [record("k9")])
+        os.replace(tmp, results)  # same size, new inode
+        stats = index.refresh()
+        assert stats.n_rescans == 1
+        assert index.keys() == {"k9"}
+
+    def test_vanished_file_dropped(self, tmp_path):
+        d = tmp_path / "c"
+        shard = d / "shards" / "w0.jsonl"
+        append_records(shard, [record("k1")])
+        index = ProgressIndex(d)
+        index.refresh()
+        shard.unlink()
+        stats = index.refresh()
+        assert stats.n_dropped == 1
+        assert index.keys() == set()
+
+    def test_torn_tail_warned_once_then_healed(self, tmp_path, caplog):
+        d = tmp_path / "c"
+        shard = d / "shards" / "w0.jsonl"
+        append_records(shard, [record("k1")])
+        line = record("k2").to_json()
+        with shard.open("a", encoding="utf-8") as fh:
+            fh.write(line[:8])
+        index = ProgressIndex(d)
+        with caplog.at_level(logging.WARNING, "repro.campaign.progress"):
+            first = index.refresh()
+            second = index.refresh()
+        assert first.n_torn == 1 and second.n_torn == 1
+        assert index.keys() == {"k1"}
+        torn_warnings = [
+            m for m in caplog.messages if "torn trailing line" in m
+        ]
+        assert len(torn_warnings) == 1  # throttled across refreshes
+        with shard.open("a", encoding="utf-8") as fh:
+            fh.write(line[8:] + "\n")
+        healed = index.refresh()
+        assert healed.n_new_records == 1 and healed.n_torn == 0
+        assert index.keys() == {"k1", "k2"}
+
+    def test_compact_invalidates_indexes(self, tmp_path):
+        d = tmp_path / "c"
+        store = ResultStore(d)
+        store.put(record("k1", "error"))
+        store.put(record("k1", "ok"))
+        index = ProgressIndex(d)
+        index.refresh()
+        assert index.path.exists()
+        stats = store.compact()
+        assert stats.n_superseded == 1
+        assert not index.path.exists()
+        # a fresh index rebuilds correctly from the compacted file
+        rebuilt = ProgressIndex(d)
+        rebuilt.refresh()
+        assert rebuilt.statuses() == {"k1": "ok"}
+
+    def test_statuses_ok_beats_error_across_files(self, tmp_path):
+        d = tmp_path / "c"
+        append_records(d / "shards" / "a.jsonl", [record("k1", "error")])
+        append_records(d / "shards" / "b.jsonl", [record("k1")])
+        index = ProgressIndex(d)
+        index.refresh()
+        assert index.statuses() == {"k1": "ok"}
+
+    def test_no_directory_no_side_effects(self, tmp_path):
+        d = tmp_path / "nothing"
+        index = ProgressIndex(d)
+        stats = index.refresh()
+        assert stats.n_files == 0
+        assert not d.exists()  # scanning nothing creates nothing
+
+    def test_corrupt_index_file_rebuilds(self, tmp_path):
+        d = tmp_path / "c"
+        append_records(d / "results.jsonl", [record("k1")])
+        (d / "index").mkdir()
+        (d / "index" / "progress.json").write_text("{torn", "utf-8")
+        index = ProgressIndex(d)
+        stats = index.refresh()
+        assert stats.n_rescans == 1
+        assert index.keys() == {"k1"}
+
+    def test_known_keys_parity_with_index(self, tmp_path):
+        d = tmp_path / "c"
+        append_records(d / "results.jsonl", [record("m1")])
+        append_records(d / "shards" / "w0.jsonl", [record("s1", "error")])
+        assert known_keys(d) == {"m1", "s1"}
+        # and via a held index
+        index = ProgressIndex(d)
+        assert known_keys(d, index) == {"m1", "s1"}
+
+
+class TestResultStoreRefresh:
+    def test_refresh_folds_appended_records(self, tmp_path):
+        d = tmp_path / "c"
+        store = ResultStore(d)
+        store.put(record("k1"))
+        other = ResultStore(d)
+        store.put(record("k2"))
+        assert "k2" not in other
+        assert other.refresh() == 1
+        assert "k2" in other and len(other) == 2
+        assert other.refresh() == 0
+
+    def test_refresh_reloads_after_rewrite(self, tmp_path):
+        d = tmp_path / "c"
+        store = ResultStore(d)
+        store.put(record("k1", "error"))
+        store.put(record("k1"))
+        other = ResultStore(d)
+        store.compact()
+        other.refresh()
+        assert len(other) == 1 and other.get("k1").ok
+
+    def test_own_puts_do_not_rescan(self, tmp_path):
+        d = tmp_path / "c"
+        store = ResultStore(d)
+        store.put(record("k1"))
+        store.put(record("k2"))
+        assert store.refresh() == 0  # offset tracked through puts
+
+
+class TestIndexKeyView:
+    def test_plan_matches_store_backed_plan(self, tmp_path):
+        d = tmp_path / "c"
+        spec = CampaignSpec.from_dict(SMALL)
+        cells = spec.expand()
+        append_records(
+            d / "results.jsonl",
+            [
+                record(cells[0].key()),
+                record(cells[1].key(), "error"),
+            ],
+        )
+        index = ProgressIndex(d)
+        index.refresh()
+        view_plan = plan_campaign(spec, IndexKeyView(index))
+        store_plan = plan_campaign(spec, ResultStore(d))
+        assert {c.key() for c in view_plan.todo} == {
+            c.key() for c in store_plan.todo
+        }
+        assert view_plan.n_cached == store_plan.n_cached == 1
+
+    def test_retry_requires_real_store(self, tmp_path):
+        index = ProgressIndex(tmp_path)
+        with pytest.raises(ConfigurationError, match="retry"):
+            plan_campaign(
+                CampaignSpec.from_dict(SMALL),
+                IndexKeyView(index),
+                retry_failed=True,
+            )
+
+
+KEY_RE = re.compile(r"\b[0-9a-f]{16}\b")
+
+
+def normalized(text: str) -> str:
+    """Replace 16-hex cell keys with stable placeholders, in order of
+    first appearance, so golden snapshots survive config hashing."""
+    seen = {}
+
+    def sub(match):
+        key = match.group(0)
+        if key not in seen:
+            seen[key] = f"<KEY{len(seen)}>"
+        return seen[key]
+
+    return KEY_RE.sub(sub, text)
+
+
+def build_fixture_dir(tmp_path) -> Path:
+    """A deterministic campaign dir: 4-cell spec, 2 ok + 1 error spread
+    over two shards (one cell merged into results), 2 leases."""
+    d = tmp_path / "c"
+    spec = CampaignSpec.from_dict(SMALL)
+    ResultStore(d, load=False).write_spec(spec.to_dict())
+    cells = spec.expand()
+    k0, k1, k2 = cells[0].key(), cells[1].key(), cells[2].key()
+    append_records(
+        d / "results.jsonl",
+        [CellRecord(key=k0, config=cells[0].config(), status="ok",
+                    payload={"x": 1}, elapsed_s=2.0)],
+    )
+    append_records(
+        d / "shards" / "w0.jsonl",
+        [CellRecord(key=k1, config=cells[1].config(), status="ok",
+                    payload={"x": 1}, elapsed_s=3.0)],
+    )
+    append_records(
+        d / "shards" / "w1.jsonl",
+        [CellRecord(key=k2, config=cells[2].config(), status="error",
+                    error="RuntimeError: boom", elapsed_s=0.5)],
+    )
+    clock = FakeClock(1000.0)
+    live = LeaseBoard(d, owner="host-1-w0", ttl_s=60, clock=clock)
+    assert live.acquire(cells[3].key())
+    stale = LeaseBoard(d, owner="host-2-w1", ttl_s=60,
+                       clock=FakeClock(400.0))
+    assert stale.acquire("deadbeefdeadbeef")
+    return d
+
+
+class TestStatusGolden:
+    def test_status_report_golden(self, tmp_path):
+        d = build_fixture_dir(tmp_path)
+        text = status_report(d, clock=FakeClock(1010.0))
+        assert normalized(text) == "\n".join(
+            [
+                "campaign 'small': 2/4 cells done, 1 failed, 1 pending",
+                "stored records: 3 (5.5s compute)",
+                "shards:",
+                "  shard w0: 1 records, 0 errors",
+                "  shard w1: 1 records, 1 error",
+                "leases: 1 live, 1 expired",
+                "  lease <KEY0>: EXPIRED, owner host-2-w1, "
+                "heartbeat 610s ago (ttl 60s)",
+                "  lease <KEY1>: live, owner host-1-w0, "
+                "heartbeat 10s ago (ttl 60s)",
+                "  FAILED <KEY2>: RuntimeError: boom",
+            ]
+        )
+
+    def test_watch_single_frame_golden(self, tmp_path):
+        d = build_fixture_dir(tmp_path)
+        frames = []
+        watch_status(
+            d,
+            interval_s=30.0,
+            frames=1,
+            out=frames.append,
+            clock=FakeClock(1010.0),
+            sleep=lambda _s: pytest.fail("one frame must not sleep"),
+        )
+        assert len(frames) == 1
+        assert normalized(frames[0]) == "\n".join(
+            [
+                "campaign 'small': 2/4 cells done, 1 failed, 1 pending",
+                "stored records: 3 (5.5s compute)",
+                "throughput: n/a — ETA n/a",
+                "shards:",
+                "  shard w0: 1 records, 0 errors",
+                "  shard w1: 1 records, 1 error",
+                "leases: 1 live, 1 expired",
+                "  lease <KEY0>: EXPIRED, owner host-2-w1, "
+                "heartbeat 610s ago (ttl 60s)",
+                "  lease <KEY1>: live, owner host-1-w0, "
+                "heartbeat 10s ago (ttl 60s)",
+            ]
+        )
+
+    def test_watch_throughput_and_eta(self, tmp_path):
+        """Second frame: rates from shard append deltas, ETA from the
+        aggregate completion rate."""
+        d = build_fixture_dir(tmp_path)
+        spec = CampaignSpec.from_dict(SMALL)
+        clock = FakeClock(1000.0)
+        frames = []
+
+        def advance_and_append(_interval):
+            clock.advance(60.0)
+            cells = spec.expand()
+            append_records(
+                d / "shards" / "w1.jsonl",
+                [CellRecord(key=cells[3].key(), config=cells[3].config(),
+                            status="ok", payload={"x": 1}, elapsed_s=4.0)],
+            )
+
+        watch_status(
+            d,
+            interval_s=60.0,
+            frames=2,
+            out=frames.append,
+            clock=clock,
+            sleep=advance_and_append,
+        )
+        # out() is also called with "" as a frame separator
+        frames = [f for f in frames if f]
+        assert len(frames) == 2
+        second = normalized(frames[1])
+        assert "campaign 'small': 3/4 cells done, 1 failed, 0 pending" in second
+        # 1 cell completed in 60s -> 1.0 cells/min, 0 pending -> ETA 0s
+        assert "throughput: 1.0 cells/min — ETA 0s" in second
+        assert "  shard w1: 2 records, 1 error, 1.0 cells/min" in second
+        assert "  shard w0: 1 records, 0 errors, 0.0 cells/min" in second
+
+    def test_status_without_spec(self, tmp_path):
+        d = tmp_path / "c"
+        append_records(d / "results.jsonl", [record("k1")])
+        text = status_report(d, clock=FakeClock())
+        assert "1 ok / 0 failed records (no campaign.json)" in text
+
+    def test_cli_status_watch_frames(self, tmp_path, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        d = build_fixture_dir(tmp_path)
+        code = cli_main(
+            [
+                "campaign", "status", "--dir", str(d),
+                "--watch", "--frames", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out and "cells done" in out
+
+
+class TestThroughputTracker:
+    def _snap(self, t, done, failed=0, shards=()):
+        from repro.campaign.progress import ShardStat, StatusSnapshot
+
+        return StatusSnapshot(
+            time=t, name="x", n_cells=100, n_done=done, n_failed=failed,
+            n_records=done + failed, elapsed_s=0.0,
+            shards=tuple(ShardStat(*s) for s in shards),
+            leases_live=0, leases_expired=0,
+        )
+
+    def test_single_sample_has_no_rate(self):
+        tracker = ThroughputTracker()
+        tracker.add(self._snap(0.0, 10))
+        assert tracker.cells_per_min() is None
+        assert tracker.eta_s(self._snap(0.0, 10)) is None
+
+    def test_rate_and_eta(self):
+        tracker = ThroughputTracker(window_s=300)
+        tracker.add(self._snap(0.0, 10))
+        snap = self._snap(60.0, 40)
+        tracker.add(snap)
+        assert tracker.cells_per_min() == pytest.approx(30.0)
+        # 100 - 40 pending at 0.5 cells/s -> 120 s
+        assert tracker.eta_s(snap) == pytest.approx(120.0)
+
+    def test_window_prunes_old_samples(self):
+        tracker = ThroughputTracker(window_s=100)
+        for t, done in [(0, 0), (60, 60), (120, 90), (180, 105)]:
+            tracker.add(self._snap(float(t), done))
+        # the t=0 and t=60 samples fell out of the 100 s window
+        assert tracker.cells_per_min() == pytest.approx(
+            60.0 * (105 - 90) / 60.0
+        )
+
+    def test_duplicate_executions_do_not_inflate_rate(self):
+        tracker = ThroughputTracker()
+        tracker.add(self._snap(0.0, 10, shards=[("w0", 10, 0)]))
+        # shard grew by 5 records but only 2 new unique cells completed
+        tracker.add(self._snap(60.0, 12, shards=[("w0", 15, 0)]))
+        assert tracker.cells_per_min() == pytest.approx(2.0)
+        assert tracker.shard_cells_per_min("w0") == pytest.approx(5.0)
+
+    def test_format_duration(self):
+        assert format_duration(None) == "n/a"
+        assert format_duration(42) == "42s"
+        assert format_duration(250) == "4m10s"
+        assert format_duration(48245) == "13h24m"
+
+
+class TestKillResumeByteIdentical:
+    def test_fleet_kill_resume_matches_solo_canonically(self, tmp_path):
+        """Acceptance: a fleet run that loses a worker mid-cell, is
+        rescued, and merges through the index yields a results store
+        canonically byte-identical to a solo run without any index."""
+        spec = CampaignSpec.from_dict(SMALL)
+        d = tmp_path / "fleet"
+        ResultStore(d, load=False).write_spec(spec.to_dict())
+        backend = LocalSubprocessBackend(workers=1)
+        (handle,) = backend.launch(str(d), ttl_s=1.0, poll_s=0.1)
+        try:
+            deadline = time.time() + 60
+            leases = d / "leases"
+            while time.time() < deadline:
+                if leases.exists() and list(leases.glob("*.json")):
+                    break
+                if handle.proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            if handle.proc.poll() is None:
+                os.kill(handle.proc.pid, signal.SIGKILL)
+        finally:
+            handle.proc.wait()
+        run_worker(d, shard="rescue", ttl_s=1.0, poll_s=0.1)
+        merge_shards(d)
+        solo = tmp_path / "solo"
+        run_campaign(spec, directory=solo)
+        fleet_bytes = ResultStore(d).canonical_bytes()
+        solo_bytes = ResultStore(solo).canonical_bytes()
+        assert fleet_bytes and fleet_bytes == solo_bytes
+
+    def test_canonical_bytes_ignore_wall_clock(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        a.put(record("k1", elapsed=1.0))
+        a.put(record("k2", elapsed=2.0))
+        b.put(record("k2", elapsed=9.0))  # different order + timings
+        b.put(record("k1", elapsed=7.0))
+        assert a.canonical_bytes() == b.canonical_bytes()
+
+
+class TestSpecCellKeys:
+    def test_round_trip(self, tmp_path):
+        d = tmp_path / "c"
+        spec = CampaignSpec.from_dict(SMALL)
+        ResultStore(d, load=False).write_spec(spec.to_dict())
+        name, keys = spec_cell_keys(d)
+        assert name == "small"
+        assert keys == {c.key() for c in spec.expand()}
+
+    def test_missing_spec(self, tmp_path):
+        assert spec_cell_keys(tmp_path) == (None, None)
+
+    def test_take_snapshot_without_spec(self, tmp_path):
+        d = tmp_path / "c"
+        append_records(d / "results.jsonl", [record("k1"),
+                                             record("k2", "error")])
+        index = ProgressIndex(d)
+        snap = take_snapshot(d, index, clock=FakeClock())
+        assert snap.n_cells is None and snap.n_pending is None
+        assert snap.n_done == 1 and snap.n_failed == 1
