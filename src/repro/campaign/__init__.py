@@ -11,8 +11,12 @@ single run — the first-class object:
   are never recomputed and interrupted campaigns resume;
 * :mod:`repro.campaign.executor` — :func:`run_campaign` fans missing
   cells out over a process pool with per-cell failure capture;
-* :mod:`repro.campaign.report` — grouped pivots over one campaign and
-  cell-matched diffs between two;
+* :mod:`repro.campaign.report` — the report *model* layer (typed pivot
+  rows, cell-matched diffs, error listings, chart series) plus the
+  plain-text renderers;
+* :mod:`repro.campaign.svg` / :mod:`repro.campaign.html` —
+  zero-dependency inline-SVG chart primitives and the self-contained
+  ``campaign report --html`` exporter built on the same models;
 * :mod:`repro.campaign.progress` — :class:`ProgressIndex`, the
   incremental (byte-offset) completion index every scan goes through,
   and the ``campaign status --watch`` fleet dashboard;
@@ -52,14 +56,30 @@ from repro.campaign.progress import (
     take_snapshot,
     watch_status,
 )
+from repro.campaign.html import (
+    render_campaign_html,
+    render_exhibit_html,
+)
 from repro.campaign.report import (
     DEFAULT_GROUP_BY,
     DEFAULT_METRICS,
+    METRIC_DIRECTIONS,
+    DiffRow,
+    DiffTable,
+    ErrorEntry,
+    MetricSeries,
+    PivotRow,
+    PivotTable,
+    build_diff,
+    build_errors,
+    build_pivot,
+    build_series,
     diff_text,
     load_campaign,
     report_text,
     status_text,
 )
+from repro.campaign.svg import bar_chart, chart_css, line_chart
 from repro.campaign.spec import CampaignCell, CampaignSpec, canonical_json
 from repro.campaign.store import (
     CellRecord,
@@ -109,4 +129,20 @@ __all__ = [
     "diff_text",
     "DEFAULT_GROUP_BY",
     "DEFAULT_METRICS",
+    "METRIC_DIRECTIONS",
+    "DiffRow",
+    "DiffTable",
+    "ErrorEntry",
+    "MetricSeries",
+    "PivotRow",
+    "PivotTable",
+    "build_diff",
+    "build_errors",
+    "build_pivot",
+    "build_series",
+    "render_campaign_html",
+    "render_exhibit_html",
+    "bar_chart",
+    "chart_css",
+    "line_chart",
 ]

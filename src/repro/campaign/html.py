@@ -1,0 +1,469 @@
+"""Self-contained HTML campaign reports.
+
+:func:`render_campaign_html` turns a campaign directory's records into
+ONE portable ``report.html``: no JavaScript CDNs, no webfonts, no
+image files, no network access of any kind — charts are inline SVG
+(:mod:`repro.campaign.svg`), styling is an embedded stylesheet, and
+the only script is a ~20-line inline column sorter.  The file opens
+offline, attaches to an email or CI artifact, and renders identically
+years later.
+
+Sections, in order:
+
+* **header** — campaign name, axes, and ok/error/compute stat tiles;
+* **pivot** — the seed-averaged grouped table (sortable columns),
+  built from the same :func:`repro.campaign.report.build_pivot` model
+  the text renderer uses;
+* **charts** — one bar/line chart per metric over a chosen x-axis
+  config field (``--x``), series split by the remaining ``--by``
+  fields;
+* **errors** — failed cells with their captured tracebacks behind
+  ``<details>`` disclosures;
+* **diff** — optional two-campaign comparison
+  (:func:`repro.campaign.report.build_diff`) with per-cell deltas and
+  regression/improvement highlighting (arrow glyphs + color, never
+  color alone).
+
+Rendering is deterministic: the same records produce byte-identical
+HTML (no timestamps, no randomness), which the golden-file tests and
+the "byte-stable report" acceptance check rely on.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.report import (
+    DEFAULT_GROUP_BY,
+    DEFAULT_METRICS,
+    DiffTable,
+    MetricSeries,
+    build_diff,
+    build_errors,
+    build_pivot,
+    build_series,
+)
+from repro.campaign.spec import canonical_json
+from repro.campaign.store import CellRecord
+from repro.campaign.svg import bar_chart, chart_css, fmt_value, line_chart
+
+#: spec axes surfaced in the report header, in display order
+_SPEC_AXES = (
+    "days",
+    "target_load",
+    "system_size",
+    "notice_mix",
+    "mechanism",
+    "backfill_mode",
+    "checkpoint_multiplier",
+    "failure_mtbf_days",
+    "seeds",
+    "trace_file",
+)
+
+_PAGE_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0 auto; padding: 24px 32px 48px; max-width: 1080px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: #f9f9f7; color: #0b0b0b;
+}
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 32px 0 10px; }
+.subtitle { color: #52514e; margin: 0 0 18px; font-size: 13px; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 18px 0; }
+.tile {
+  background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+  border-radius: 8px; padding: 10px 16px; min-width: 110px;
+}
+.tile .label { font-size: 12px; color: #52514e; }
+.tile .value { font-size: 26px; font-weight: 600; }
+.axes { font-size: 13px; color: #52514e; }
+.axes code { color: #0b0b0b; }
+table {
+  border-collapse: collapse; font-size: 13px; width: 100%;
+  background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+  border-radius: 8px;
+}
+th, td { padding: 6px 10px; text-align: left; white-space: nowrap; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+thead th {
+  border-bottom: 1px solid #c3c2b7; font-weight: 600; cursor: pointer;
+  user-select: none;
+}
+thead th:hover { background: rgba(11,11,11,0.04); }
+tbody tr:nth-child(even) { background: rgba(11,11,11,0.025); }
+.delta-reg { color: #d03b3b; font-weight: 600; }
+.delta-imp { color: #006300; font-weight: 600; }
+.chart-card { margin: 14px 0; }
+details {
+  background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+  border-radius: 8px; padding: 8px 12px; margin: 8px 0;
+}
+details pre {
+  overflow-x: auto; font-size: 12px; line-height: 1.45;
+  background: rgba(11,11,11,0.04); padding: 10px; border-radius: 6px;
+}
+.note { color: #52514e; font-size: 13px; }
+footer {
+  margin-top: 40px; color: #898781; font-size: 12px;
+  border-top: 1px solid #e1e0d9; padding-top: 10px;
+}
+@media (prefers-color-scheme: dark) {
+  body { background: #0d0d0d; color: #ffffff; }
+  .subtitle, .axes, .tile .label, .note { color: #c3c2b7; }
+  .axes code { color: #ffffff; }
+  .tile, table, details { background: #1a1a19;
+    border-color: rgba(255,255,255,0.10); }
+  thead th { border-bottom-color: #383835; }
+  thead th:hover { background: rgba(255,255,255,0.06); }
+  tbody tr:nth-child(even) { background: rgba(255,255,255,0.03); }
+  details pre { background: rgba(255,255,255,0.06); }
+  .delta-reg { color: #e66767; }
+  .delta-imp { color: #0ca30c; }
+  footer { border-top-color: #2c2c2a; }
+}
+"""
+
+#: the only script in the report: click a header to sort that column
+#: (numeric when both cells parse as numbers, lexical otherwise)
+_SORT_JS = """
+document.querySelectorAll("table.sortable thead th").forEach(function (th) {
+  th.addEventListener("click", function () {
+    var table = th.closest("table");
+    var tbody = table.querySelector("tbody");
+    var i = Array.prototype.indexOf.call(th.parentNode.children, th);
+    var dir = th.dataset.dir === "asc" ? "desc" : "asc";
+    table.querySelectorAll("thead th").forEach(function (h) {
+      delete h.dataset.dir;
+    });
+    th.dataset.dir = dir;
+    var rows = Array.prototype.slice.call(tbody.rows);
+    rows.sort(function (a, b) {
+      var x = a.cells[i].dataset.v || a.cells[i].textContent;
+      var y = b.cells[i].dataset.v || b.cells[i].textContent;
+      var nx = parseFloat(x), ny = parseFloat(y);
+      var c = (!isNaN(nx) && !isNaN(ny))
+        ? nx - ny : String(x).localeCompare(String(y));
+      return dir === "asc" ? c : -c;
+    });
+    rows.forEach(function (r) { tbody.appendChild(r); });
+  });
+});
+"""
+
+
+def esc(value: object) -> str:
+    """Escape a value for HTML text/attribute content."""
+    return _html.escape(str(value), quote=True)
+
+
+def _cell(value: object, numeric: Optional[bool] = None) -> str:
+    """One ``<td>``; numeric cells carry a machine value for sorting."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (
+            f'<td class="num" data-v="{value!r}">{fmt_value(float(value))}'
+            "</td>"
+        )
+    css = ' class="num"' if numeric else ""
+    return f"<td{css}>{esc(value if value is not None else '-')}</td>"
+
+
+def _sortable_table(
+    headers: Sequence[Tuple[str, bool]], rows: Sequence[Sequence[str]]
+) -> str:
+    head = "".join(
+        f'<th{" class=" + chr(34) + "num" + chr(34) if numeric else ""}>'
+        f"{esc(name)}</th>"
+        for name, numeric in headers
+    )
+    body = "".join(f"<tr>{''.join(row)}</tr>" for row in rows)
+    return (
+        '<table class="sortable">'
+        f"<thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def _header_section(
+    title: str,
+    spec_dict: Optional[Mapping[str, object]],
+    records: Sequence[CellRecord],
+) -> str:
+    n_ok = sum(1 for r in records if r.ok)
+    n_err = len(records) - n_ok
+    elapsed = sum(r.elapsed_s for r in records)
+    tiles = [
+        ("completed cells", str(n_ok)),
+        ("failed cells", str(n_err)),
+        ("compute", f"{elapsed:.0f}s"),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{esc(label)}</div>'
+        f'<div class="value">{esc(value)}</div></div>'
+        for label, value in tiles
+    )
+    axes = ""
+    if spec_dict:
+        parts = []
+        for axis in _SPEC_AXES:
+            value = spec_dict.get(axis)
+            if value is None:
+                continue
+            values = value if isinstance(value, (list, tuple)) else [value]
+            if all(v is None for v in values):
+                continue
+            shown = ", ".join(
+                "baseline" if v is None else str(v) for v in values
+            )
+            parts.append(f"<code>{esc(axis)}</code>: {esc(shown)}")
+        axes = f'<p class="axes">{" · ".join(parts)}</p>'
+    return (
+        f"<h1>{esc(title)}</h1>"
+        '<p class="subtitle">campaign report — generated offline by '
+        "<code>repro-hybrid campaign report --html</code></p>"
+        f'<div class="tiles">{tile_html}</div>{axes}'
+    )
+
+
+def _pivot_section(
+    records: Sequence[CellRecord],
+    by: Sequence[str],
+    metrics: Sequence[str],
+) -> str:
+    pivot = build_pivot(records, by=by, metrics=metrics)
+    if not pivot.rows:
+        return (
+            "<h2>Pivot</h2>"
+            '<p class="note">(no completed simulation cells)</p>'
+        )
+    headers = [(f, False) for f in pivot.by]
+    headers.append(("cells", True))
+    headers.extend((m, True) for m in pivot.metrics)
+    rows = []
+    for row in pivot.rows:
+        cells = [_cell(g) for g in row.group]
+        cells.append(_cell(row.n_cells))
+        cells.extend(_cell(row.values[m]) for m in pivot.metrics)
+        rows.append(cells)
+    return (
+        f"<h2>Pivot — by {esc(', '.join(pivot.by))} "
+        f"(averaged over seeds)</h2>"
+        + _sortable_table(headers, rows)
+        + '<p class="note">click a column header to sort</p>'
+    )
+
+
+def _charts_section(
+    records: Sequence[CellRecord],
+    by: Sequence[str],
+    metrics: Sequence[str],
+    x: Optional[str],
+) -> str:
+    x_field = x or (by[-1] if by else "mechanism")
+    series_by = [f for f in by if f != x_field]
+    charted = build_series(records, x=x_field, by=series_by, metrics=metrics)
+    charts = [
+        _chart_for(ms)
+        for ms in charted
+        if any(v is not None for _n, vals in ms.series for v in vals)
+    ]
+    if not charts:
+        return ""
+    cards = "".join(f'<div class="chart-card">{c}</div>' for c in charts)
+    return (
+        f"<h2>Charts — {esc(', '.join(metrics))} over "
+        f"<code>{esc(x_field)}</code></h2>{cards}"
+    )
+
+
+def _chart_for(ms: MetricSeries) -> str:
+    """Line chart over a numeric axis with ≥3 points, bars otherwise."""
+    if ms.numeric_x and len(ms.x_values) >= 3:
+        return line_chart(
+            ms.x_values,
+            ms.series,
+            title=ms.metric,
+            embed_style=False,
+            x_label=ms.x_field,
+        )
+    return bar_chart(
+        ["default" if v is None else v for v in ms.x_values],
+        ms.series,
+        title=ms.metric,
+        embed_style=False,
+        x_label=ms.x_field,
+    )
+
+
+def _errors_section(records: Sequence[CellRecord]) -> str:
+    entries = build_errors(records)
+    if not entries:
+        return ""
+    blocks = []
+    for entry in entries:
+        blocks.append(
+            "<details>"
+            f"<summary><code>{esc(entry.key)}</code> {esc(entry.label)}"
+            f" — {esc(entry.last_line)}</summary>"
+            f"<p class='note'>config: <code>"
+            f"{esc(canonical_json(dict(entry.config)))}</code></p>"
+            f"<pre>{esc(entry.error)}</pre>"
+            "</details>"
+        )
+    return (
+        f"<h2>Errors ({len(entries)} failed "
+        f"cell{'s' if len(entries) != 1 else ''})</h2>" + "".join(blocks)
+    )
+
+
+def _diff_section(diff: DiffTable) -> str:
+    head = (
+        f"<h2>Diff — {esc(diff.a_name)} (A) vs {esc(diff.b_name)} (B)</h2>"
+    )
+    if not diff.comparable:
+        return (
+            head
+            + '<p class="note">(campaigns share no comparable cells)'
+            f" — A: {diff.n_a_ok} ok / {diff.n_a_errors} error records,"
+            f" B: {diff.n_b_ok} ok / {diff.n_b_errors} error records</p>"
+        )
+    varying = (
+        f" · varying: <code>{esc(', '.join(sorted(diff.varying)))}</code>"
+        if diff.varying
+        else ""
+    )
+    summary = (
+        f'<p class="note">{len(diff.rows)} comparisons — '
+        f'<span class="delta-reg">{diff.n_regressions} '
+        f"regression{'s' if diff.n_regressions != 1 else ''} ▼</span>, "
+        f'<span class="delta-imp">{diff.n_improvements} '
+        f"improvement{'s' if diff.n_improvements != 1 else ''} ▲</span>"
+        f"{varying}</p>"
+    )
+    headers = [
+        ("cell", False),
+        ("metric", False),
+        ("A", True),
+        ("B", True),
+        ("delta", True),
+        ("Δ%", True),
+        ("verdict", False),
+    ]
+    rows = []
+    for row in diff.rows:
+        if row.regression:
+            verdict = '<td><span class="delta-reg">▼ regression</span></td>'
+        elif row.improvement:
+            verdict = '<td><span class="delta-imp">▲ improvement</span></td>'
+        else:
+            verdict = "<td>·</td>"
+        delta = (
+            f'<td class="num" data-v="{row.delta!r}">'
+            f"{fmt_value(row.delta)}</td>"
+            if row.delta is not None
+            else "<td class='num'>-</td>"
+        )
+        pct = (
+            f'<td class="num" data-v="{row.pct!r}">{100 * row.pct:+.1f}%</td>'
+            if row.pct is not None
+            else "<td class='num'>-</td>"
+        )
+        rows.append(
+            [
+                _cell(row.label),
+                _cell(row.metric),
+                _cell(row.a),
+                _cell(row.b),
+                delta,
+                pct,
+                verdict,
+            ]
+        )
+    return head + summary + _sortable_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Documents
+# ----------------------------------------------------------------------
+def _document(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">\n'
+        f"<title>{esc(title)}</title>\n"
+        f"<style>{_PAGE_CSS}{chart_css()}</style>\n"
+        f"</head><body>{body}"
+        "<footer>self-contained report — inline SVG + CSS, no external "
+        "resources; regenerate with <code>repro-hybrid campaign report "
+        "--html</code></footer>"
+        f"<script>{_SORT_JS}</script></body></html>\n"
+    )
+
+
+def render_campaign_html(
+    records: Sequence[CellRecord],
+    spec_dict: Optional[Mapping[str, object]] = None,
+    by: Sequence[str] = DEFAULT_GROUP_BY,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    x: Optional[str] = None,
+    diff_records: Optional[Sequence[CellRecord]] = None,
+    a_name: str = "A",
+    b_name: str = "B",
+    title: Optional[str] = None,
+) -> str:
+    """Render one campaign (and optionally a diff) as one HTML file.
+
+    Parameters mirror ``campaign report``: *by* groups the pivot rows,
+    *metrics* picks the value columns, *x* chooses the chart x-axis
+    config field (default: the last *by* field), and *diff_records*
+    adds the two-campaign diff section with *records* as side A.
+    """
+    name = title
+    if name is None:
+        name = str((spec_dict or {}).get("name", "campaign"))
+    body = [_header_section(name, spec_dict, records)]
+    body.append(_pivot_section(records, by, metrics))
+    body.append(_charts_section(records, by, metrics, x))
+    body.append(_errors_section(records))
+    if diff_records is not None:
+        diff = build_diff(
+            records,
+            diff_records,
+            metrics=metrics,
+            a_name=a_name,
+            b_name=b_name,
+        )
+        body.append(_diff_section(diff))
+    return _document(f"{name} — campaign report", "".join(body))
+
+
+def render_exhibit_html(
+    title: str,
+    charts: Sequence[Tuple[str, str]] = (),
+    text: Optional[str] = None,
+) -> str:
+    """Wrap a figure driver's charts (name → inline SVG) and its text
+    exhibit into the same self-contained document shell."""
+    body = [
+        f"<h1>{esc(title)}</h1>"
+        '<p class="subtitle">generated offline by '
+        "<code>repro-hybrid --html</code></p>"
+    ]
+    # figure drivers emit self-contained charts (embedded stylesheet);
+    # the page head already carries chart_css once, so drop the copies
+    embedded_style = f"<style>{chart_css()}</style>"
+    for heading, chart_svg in charts:
+        body.append(
+            f"<h2>{esc(heading)}</h2>"
+            f'<div class="chart-card">'
+            f"{chart_svg.replace(embedded_style, '')}</div>"
+        )
+    if text:
+        body.append(f"<h2>Text exhibit</h2><details open><summary>aligned "
+                    f"table</summary><pre>{esc(text)}</pre></details>")
+    return _document(title, "".join(body))

@@ -1,21 +1,35 @@
-"""Campaign reporting: status, grouped pivots, and campaign diffs.
+"""Campaign report model + text renderers.
 
-All functions work on stored :class:`CellRecord` lists, so they can
-render a campaign that is still running, fully cached, or loaded from a
-directory produced on another machine.  Seeds are always the replication
-axis: summaries are averaged over seeds within each group.
+This module is the *model layer* of campaign reporting: it reduces
+stored :class:`CellRecord` lists into typed, renderer-independent rows —
+:func:`build_pivot` (grouped, seed-averaged pivot tables),
+:func:`build_diff` (cell-matched diffs between two campaigns with
+per-metric deltas and regression direction), :func:`build_errors`
+(failed cells with captured tracebacks), and :func:`build_series`
+(per-metric chart series over any config axis).  The plain-text
+renderers (``report_text``, ``diff_text``, ``status_text``) and the
+self-contained HTML exporter (:mod:`repro.campaign.html`) both consume
+these models, so the two renderings can never disagree about the
+numbers.
+
+All functions work on stored records, so they can render a campaign
+that is still running, fully cached, or loaded from a directory
+produced on another machine.  Seeds are always the replication axis:
+summaries are averaged over seeds within each group.
 """
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
-from pathlib import Path
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.campaign.spec import CampaignSpec, canonical_json
 from repro.campaign.store import CellRecord, ResultStore
 from repro.metrics.report import format_table
 from repro.metrics.summary import SummaryMetrics, average_summaries
+from repro.util.errors import ConfigurationError
 
 #: default pivot columns for ``campaign report``
 DEFAULT_GROUP_BY: Tuple[str, ...] = ("notice_mix", "mechanism")
@@ -29,6 +43,34 @@ DEFAULT_METRICS: Tuple[str, ...] = (
     "preemption_ratio_malleable",
 )
 
+#: which way is better, per summary metric: +1 higher-is-better,
+#: -1 lower-is-better, 0 neutral (counts, bookkeeping).  Drives the
+#: regression/improvement classification of diff rows.
+METRIC_DIRECTIONS: Dict[str, int] = {
+    "avg_turnaround_h": -1,
+    "avg_turnaround_rigid_h": -1,
+    "avg_turnaround_malleable_h": -1,
+    "avg_turnaround_ondemand_h": -1,
+    "instant_start_rate": +1,
+    "avg_ondemand_delay_s": -1,
+    "preemption_ratio_rigid": -1,
+    "preemption_ratio_malleable": -1,
+    "shrink_ratio_malleable": -1,
+    "system_utilization": +1,
+    "allocated_frac": +1,
+    "lost_compute_frac": -1,
+    "wasted_setup_frac": -1,
+    "checkpoint_frac": -1,
+    "reserved_idle_frac": -1,
+    "decision_latency_p50_s": -1,
+    "decision_latency_max_s": -1,
+    "makespan_h": -1,
+}
+
+#: relative change below which a diff row is classified as noise
+#: rather than a regression/improvement
+REGRESSION_THRESHOLD = 0.02
+
 
 def load_campaign(directory: str) -> Tuple[Optional[Dict], List[CellRecord]]:
     """Read a campaign directory: (spec dict or None, records)."""
@@ -36,11 +78,11 @@ def load_campaign(directory: str) -> Tuple[Optional[Dict], List[CellRecord]]:
     return store.read_spec(), store.records()
 
 
-def _group_value(config: Mapping[str, object], field: str) -> object:
-    value = config.get(field)
-    if field == "mechanism" and value is None:
+def _group_value(config: Mapping[str, object], field_name: str) -> object:
+    value = config.get(field_name)
+    if field_name == "mechanism" and value is None:
         return "baseline"
-    if field == "notice_mix" and isinstance(value, dict):
+    if field_name == "notice_mix" and isinstance(value, dict):
         return value.get("name", canonical_json(value))
     return value
 
@@ -59,15 +101,358 @@ def group_records(
     return groups
 
 
-def _averaged(
-    groups: "OrderedDict[Tuple[object, ...], List[CellRecord]]",
-) -> "OrderedDict[Tuple[object, ...], SummaryMetrics]":
-    return OrderedDict(
-        (key, average_summaries([r.summary_metrics() for r in recs]))
-        for key, recs in groups.items()
+def _validate_metrics(metrics: Sequence[str]) -> None:
+    """Reject metric names that are not summary fields — a typo'd
+    ``--metrics`` must fail loudly, not render a column of blanks."""
+    known = set(SummaryMetrics.__dataclass_fields__)
+    unknown = [m for m in metrics if m not in known]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown metric(s) {unknown}; summary metrics are "
+            f"{sorted(known)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Pivot model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PivotRow:
+    """One pivot group: its ``by``-field values and averaged metrics."""
+
+    group: Tuple[object, ...]
+    n_cells: int
+    #: metric name -> seed-averaged value (missing metrics -> None)
+    values: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class PivotTable:
+    """A grouped, seed-averaged view over one campaign's ok-records."""
+
+    by: Tuple[str, ...]
+    metrics: Tuple[str, ...]
+    rows: Tuple[PivotRow, ...]
+    n_ok: int
+    n_error: int
+    title: Optional[str] = None
+
+
+def build_pivot(
+    records: Sequence[CellRecord],
+    by: Sequence[str] = DEFAULT_GROUP_BY,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    title: Optional[str] = None,
+) -> PivotTable:
+    """Reduce records to one :class:`PivotRow` per ``by``-group.
+
+    Error records and summary-less (trace) records never contribute to
+    rows; they are counted so renderers can surface them.
+    """
+    _validate_metrics(metrics)
+    raw = group_records(records, by)
+    rows: List[PivotRow] = []
+    for key, recs in raw.items():
+        summary = average_summaries([r.summary_metrics() for r in recs])
+        d = summary.as_dict()
+        rows.append(
+            PivotRow(
+                group=key,
+                n_cells=len(recs),
+                values={m: d.get(m) for m in metrics},
+            )
+        )
+    return PivotTable(
+        by=tuple(by),
+        metrics=tuple(metrics),
+        rows=tuple(rows),
+        n_ok=sum(1 for r in records if r.ok),
+        n_error=sum(1 for r in records if not r.ok),
+        title=title,
     )
 
 
+# ----------------------------------------------------------------------
+# Diff model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiffRow:
+    """One (cell, metric) comparison between two campaigns."""
+
+    label: str
+    metric: str
+    a: object
+    b: object
+    #: b - a when both values are numeric, else None
+    delta: Optional[float]
+    #: relative change (delta / |a|) when defined, else None
+    pct: Optional[float]
+    #: +1 higher-is-better, -1 lower-is-better, 0 neutral/unknown
+    direction: int = 0
+
+    def _significant(self) -> bool:
+        if self.delta is None or self.direction == 0:
+            return False
+        if self.pct is None:
+            return self.delta != 0.0
+        return abs(self.pct) > REGRESSION_THRESHOLD
+
+    @property
+    def regression(self) -> bool:
+        """B is meaningfully *worse* than A on this metric."""
+        return (
+            self._significant()
+            and self.delta is not None
+            and self.delta * self.direction < 0
+        )
+
+    @property
+    def improvement(self) -> bool:
+        """B is meaningfully *better* than A on this metric."""
+        return (
+            self._significant()
+            and self.delta is not None
+            and self.delta * self.direction > 0
+        )
+
+
+@dataclass(frozen=True)
+class DiffTable:
+    """A cell-matched diff between two campaigns.
+
+    ``comparable`` is False when the campaigns share no cells with
+    completed summaries — including the degenerate case where one (or
+    both) directories hold only error records; renderers must report
+    that instead of assuming rows exist.
+    """
+
+    a_name: str
+    b_name: str
+    metrics: Tuple[str, ...]
+    #: config fields whose value sets differ between the campaigns
+    varying: Tuple[str, ...]
+    rows: Tuple[DiffRow, ...] = ()
+    n_a_ok: int = 0
+    n_b_ok: int = 0
+    n_a_errors: int = 0
+    n_b_errors: int = 0
+
+    @property
+    def comparable(self) -> bool:
+        return bool(self.rows)
+
+    @property
+    def n_regressions(self) -> int:
+        return sum(1 for r in self.rows if r.regression)
+
+    @property
+    def n_improvements(self) -> int:
+        return sum(1 for r in self.rows if r.improvement)
+
+
+def build_diff(
+    a_records: Sequence[CellRecord],
+    b_records: Sequence[CellRecord],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    a_name: str = "A",
+    b_name: str = "B",
+) -> DiffTable:
+    """Cell-matched diff between two campaigns.
+
+    Cells are joined on their full config *minus* the seed and minus any
+    field whose value set differs between the two campaigns (e.g. the
+    ``backfill_mode`` axis when diffing easy vs conservative) — those
+    fields are what the diff is *about*, everything else must match.
+    Summaries are seed-averaged per joined cell before differencing.
+
+    A campaign with no completed summaries (e.g. a directory holding
+    only error records) yields an empty-but-valid table with
+    ``comparable == False`` — never an exception.
+    """
+    _validate_metrics(metrics)
+    a_groups = _config_groups(a_records)
+    b_groups = _config_groups(b_records)
+    counts = dict(
+        n_a_ok=sum(1 for r in a_records if r.ok),
+        n_b_ok=sum(1 for r in b_records if r.ok),
+        n_a_errors=sum(1 for r in a_records if not r.ok),
+        n_b_errors=sum(1 for r in b_records if not r.ok),
+    )
+
+    varying = _varying_fields(a_records, b_records)
+    if not a_groups or not b_groups:
+        return DiffTable(
+            a_name=a_name,
+            b_name=b_name,
+            metrics=tuple(metrics),
+            varying=varying,
+            **counts,
+        )
+    join = ("seed", *varying)
+
+    a_joined = _joined(a_groups, join)
+    b_joined = _joined(b_groups, join)
+    shared = [k for k in a_joined if k in b_joined]
+
+    rows: List[DiffRow] = []
+    for key in shared:
+        s_a = average_summaries(a_joined[key])
+        s_b = average_summaries(b_joined[key])
+        d_a, d_b = s_a.as_dict(), s_b.as_dict()
+        label = _short_label(key)
+        for metric in metrics:
+            va, vb = d_a.get(metric), d_b.get(metric)
+            delta = pct = None
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                delta = float(vb) - float(va)
+                if float(va) != 0.0:
+                    pct = delta / abs(float(va))
+            rows.append(
+                DiffRow(
+                    label=label,
+                    metric=metric,
+                    a=va,
+                    b=vb,
+                    delta=delta,
+                    pct=pct,
+                    direction=METRIC_DIRECTIONS.get(metric, 0),
+                )
+            )
+    return DiffTable(
+        a_name=a_name,
+        b_name=b_name,
+        metrics=tuple(metrics),
+        varying=varying,
+        rows=tuple(rows),
+        **counts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Error model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErrorEntry:
+    """One failed cell: its identity and the captured traceback."""
+
+    key: str
+    label: str
+    config: Mapping[str, object]
+    #: the full captured traceback (may be multi-line)
+    error: str
+    #: the traceback's last line — usually the exception message
+    last_line: str
+    elapsed_s: float = 0.0
+
+
+def build_errors(records: Sequence[CellRecord]) -> Tuple[ErrorEntry, ...]:
+    """Every error record as a renderable :class:`ErrorEntry`."""
+    out: List[ErrorEntry] = []
+    for r in records:
+        if r.ok:
+            continue
+        text = (r.error or "").strip()
+        lines = text.splitlines()
+        out.append(
+            ErrorEntry(
+                key=r.key,
+                label=_config_label(r.config),
+                config=r.config,
+                error=text,
+                last_line=lines[-1] if lines else "?",
+                elapsed_s=r.elapsed_s,
+            )
+        )
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Chart-series model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricSeries:
+    """One metric charted over an x-axis config field.
+
+    ``series`` maps a group label (joined ``by``-field values) to one
+    value per ``x_values`` entry (``None`` where that cell is absent).
+    """
+
+    metric: str
+    x_field: str
+    x_values: Tuple[object, ...]
+    series: Tuple[Tuple[str, Tuple[Optional[float], ...]], ...] = ()
+
+    @property
+    def numeric_x(self) -> bool:
+        return all(isinstance(x, (int, float)) for x in self.x_values)
+
+
+def build_series(
+    records: Sequence[CellRecord],
+    x: str,
+    by: Sequence[str] = (),
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> List[MetricSeries]:
+    """Chart data: each metric over the *x* config field, one series
+    per distinct ``by``-group (a single unnamed series when *by* is
+    empty or collapses to one group).
+
+    *x* must exist in at least one completed cell's config — a typo'd
+    axis would otherwise collapse every chart onto a single meaningless
+    x position.
+    """
+    ok = [r for r in records if r.ok and r.summary is not None]
+    if ok and not any(x in r.config for r in ok):
+        fields = sorted({k for r in ok for k in r.config})
+        raise ConfigurationError(
+            f"unknown chart axis {x!r}; cell config fields are {fields}"
+        )
+    by = tuple(f for f in by if f != x)
+    pivot = build_pivot(records, by=(*by, x), metrics=metrics)
+    x_values = _sorted_axis(
+        {row.group[-1] for row in pivot.rows}
+    )
+    x_index = {v: i for i, v in enumerate(x_values)}
+    group_labels: "OrderedDict[Tuple[object, ...], str]" = OrderedDict()
+    for row in pivot.rows:
+        group = row.group[:-1]
+        if group not in group_labels:
+            group_labels[group] = (
+                " ".join(str(g) for g in group) if group else ""
+            )
+    out: List[MetricSeries] = []
+    for metric in metrics:
+        series: List[Tuple[str, Tuple[Optional[float], ...]]] = []
+        for group, label in group_labels.items():
+            values: List[Optional[float]] = [None] * len(x_values)
+            for row in pivot.rows:
+                if row.group[:-1] != group:
+                    continue
+                value = row.values.get(metric)
+                if isinstance(value, (int, float)):
+                    values[x_index[row.group[-1]]] = float(value)
+            series.append((label, tuple(values)))
+        out.append(
+            MetricSeries(
+                metric=metric,
+                x_field=x,
+                x_values=tuple(x_values),
+                series=tuple(series),
+            )
+        )
+    return out
+
+
+def _sorted_axis(values: set) -> List[object]:
+    """Sort an axis numerically when possible, else by string."""
+    if all(isinstance(v, (int, float)) for v in values):
+        return sorted(values)
+    return sorted(values, key=str)
+
+
+# ----------------------------------------------------------------------
+# Text renderers
+# ----------------------------------------------------------------------
 def status_text(
     spec_dict: Optional[Mapping[str, object]],
     records: Sequence[CellRecord],
@@ -91,10 +476,8 @@ def status_text(
         lines.append(f"{n_ok} ok / {n_err} failed records (no campaign.json)")
     elapsed = sum(r.elapsed_s for r in records)
     lines.append(f"stored records: {len(records)} ({elapsed:.1f}s compute)")
-    for r in records:
-        if not r.ok:
-            first = (r.error or "").strip().splitlines()
-            lines.append(f"  FAILED {r.key}: {first[-1] if first else '?'}")
+    for entry in build_errors(records):
+        lines.append(f"  FAILED {entry.key}: {entry.last_line}")
     return "\n".join(lines)
 
 
@@ -105,15 +488,15 @@ def report_text(
     title: Optional[str] = None,
 ) -> str:
     """Pivot table: one row per group, averaged over seeds."""
-    raw = group_records(records, by)
-    if not raw:
+    pivot = build_pivot(records, by=by, metrics=metrics, title=title)
+    if not pivot.rows:
         return "(no completed simulation cells)"
-    headers = [*by, "cells", *metrics]
-    rows = []
-    for key, summary in _averaged(raw).items():
-        d = summary.as_dict()
-        rows.append([*key, len(raw[key]), *(d[m] for m in metrics)])
-    return format_table(headers, rows, title=title)
+    headers = [*pivot.by, "cells", *pivot.metrics]
+    rows = [
+        [*row.group, row.n_cells, *(row.values[m] for m in pivot.metrics)]
+        for row in pivot.rows
+    ]
+    return format_table(headers, rows, title=pivot.title)
 
 
 def diff_text(
@@ -123,48 +506,45 @@ def diff_text(
     a_name: str = "A",
     b_name: str = "B",
 ) -> str:
-    """Cell-matched diff between two campaigns.
-
-    Cells are joined on their full config *minus* the seed and minus any
-    field whose value set differs between the two campaigns (e.g. the
-    ``backfill_mode`` axis when diffing easy vs conservative) — those
-    fields are what the diff is *about*, everything else must match.
-    """
-    a_groups = _config_groups(a_records)
-    b_groups = _config_groups(b_records)
-
-    varying = _varying_fields(a_records, b_records)
-    join = ("seed", *varying)
-
-    a_joined = _joined(a_groups, join)
-    b_joined = _joined(b_groups, join)
-    shared = [k for k in a_joined if k in b_joined]
-    if not shared:
-        return "(campaigns share no comparable cells)"
-
+    """Cell-matched diff between two campaigns (see :func:`build_diff`)."""
+    diff = build_diff(
+        a_records, b_records, metrics=metrics, a_name=a_name, b_name=b_name
+    )
+    if not diff.comparable:
+        lines = ["(campaigns share no comparable cells)"]
+        if not diff.n_a_ok or not diff.n_b_ok:
+            lines.append(
+                f"  {a_name}: {diff.n_a_ok} ok / {diff.n_a_errors} error "
+                f"records; {b_name}: {diff.n_b_ok} ok / "
+                f"{diff.n_b_errors} error records"
+            )
+        return "\n".join(lines)
     header_note = (
-        f"diff {a_name} vs {b_name}"
-        + (f" (varying: {', '.join(sorted(varying))})" if varying else "")
+        f"diff {diff.a_name} vs {diff.b_name}"
+        + (
+            f" (varying: {', '.join(sorted(diff.varying))})"
+            if diff.varying
+            else ""
+        )
     )
     headers = ["cell", "metric", a_name, b_name, "delta"]
     rows: List[List[object]] = []
-    for key in shared:
-        s_a = average_summaries(a_joined[key])
-        s_b = average_summaries(b_joined[key])
-        d_a, d_b = s_a.as_dict(), s_b.as_dict()
-        label = _short_label(key)
-        for metric in metrics:
-            va, vb = d_a[metric], d_b[metric]
-            delta = (
-                float(vb) - float(va)
-                if isinstance(va, (int, float)) and isinstance(vb, (int, float))
-                else ""
-            )
-            rows.append([label, metric, va, vb, delta])
-            label = ""  # print the cell label once per block
+    block = len(diff.metrics) or 1
+    for i, row in enumerate(diff.rows):
+        # one label per joined-cell block (build_diff emits exactly one
+        # row per metric per cell) — two different cells may share a
+        # short label, so block position, not label equality, decides
+        label = row.label if i % block == 0 else ""
+        rows.append(
+            [label, row.metric, row.a, row.b,
+             row.delta if row.delta is not None else ""]
+        )
     return format_table(headers, rows, title=header_note)
 
 
+# ----------------------------------------------------------------------
+# Internals shared by the builders
+# ----------------------------------------------------------------------
 def _config_groups(
     records: Sequence[CellRecord],
 ) -> List[Tuple[Dict[str, object], SummaryMetrics]]:
@@ -178,22 +558,36 @@ def _config_groups(
 def _varying_fields(
     a_records: Sequence[CellRecord], b_records: Sequence[CellRecord]
 ) -> Tuple[str, ...]:
-    """Config fields whose value sets differ between the two campaigns."""
+    """Config fields whose value sets differ between the two campaigns.
 
-    def value_set(records: Sequence[CellRecord], field: str) -> frozenset:
+    Only fields of cells with completed summaries count: an error-only
+    campaign contributes empty value sets, and declaring every field
+    "varying" against it would be meaningless — the caller already
+    reports such campaigns as not comparable.
+    """
+
+    def value_set(records: Sequence[CellRecord], field_name: str) -> frozenset:
         return frozenset(
-            canonical_json(r.config.get(field)) for r in records if r.ok
+            canonical_json(r.config.get(field_name))
+            for r in records
+            if r.ok and r.summary is not None
         )
 
     fields: List[str] = []
-    sample = next((r for r in a_records if r.ok), None)
-    if sample is None:
+    sample = next(
+        (r for r in a_records if r.ok and r.summary is not None), None
+    )
+    if sample is None or not any(
+        r.ok and r.summary is not None for r in b_records
+    ):
         return ()
-    for field in sample.config:
-        if field == "seed":
+    for field_name in sample.config:
+        if field_name == "seed":
             continue
-        if value_set(a_records, field) != value_set(b_records, field):
-            fields.append(field)
+        if value_set(a_records, field_name) != value_set(
+            b_records, field_name
+        ):
+            fields.append(field_name)
     return tuple(fields)
 
 
@@ -208,18 +602,27 @@ def _joined(
     return joined
 
 
-def _short_label(join_key: str) -> str:
-    """Compress a canonical join-key JSON into a readable cell label."""
-    import json
-
-    cfg = json.loads(join_key)
-    mech = cfg.get("mechanism")
-    mix = cfg.get("notice_mix")
+def _config_label(config: Mapping[str, object]) -> str:
+    """Compress a cell config into a short human-readable label."""
+    mech = config.get("mechanism")
+    mix = config.get("notice_mix")
     if isinstance(mix, dict):
         mix = mix.get("name", "?")
     parts = [str(mech) if mech else "baseline"]
     if mix is not None:
         parts.append(f"mix={mix}")
-    if "days" in cfg:
-        parts.append(f"d={cfg['days']:g}")
+    days = config.get("days")
+    if isinstance(days, (int, float)):
+        parts.append(f"d={days:g}")
+    if "seed" in config:
+        parts.append(f"seed={config['seed']}")
     return " ".join(parts)
+
+
+def _short_label(join_key: str) -> str:
+    """Compress a canonical join-key JSON into a readable cell label.
+
+    Join keys never contain ``seed`` (it is always dropped from the
+    join), so this is :func:`_config_label` without the seed part.
+    """
+    return _config_label(json.loads(join_key))

@@ -1,0 +1,474 @@
+"""Zero-dependency inline-SVG chart primitives.
+
+Bar and line charts rendered as plain SVG strings — no matplotlib, no
+JavaScript, no network fetches — shared by the campaign HTML exporter
+(:mod:`repro.campaign.html`) and the paper-figure drivers
+(:mod:`repro.experiments.figures`), so exported reports and regenerated
+figures go through one rendering path.
+
+Design rules (deliberate, not cosmetic):
+
+* a fixed 8-slot categorical palette whose *order* is colorblind-safe
+  (adjacent-pair ΔE validated); series past the cap are dropped with an
+  explicit caption, never drawn in invented hues;
+* colors are CSS custom properties with light and dark values, so the
+  same markup renders correctly under ``prefers-color-scheme``;
+* thin marks: bars ≤ 24 px with a rounded data-end and a 2 px surface
+  gap between neighbours, 2 px lines with surface-ringed markers;
+* every mark carries a native ``<title>`` tooltip, and every chart is
+  paired with a table elsewhere in the report — color is never the
+  only channel;
+* rendering is deterministic: same inputs → byte-identical SVG (no
+  timestamps, no randomness), which is what makes golden-file tests
+  and byte-stable reports possible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+#: categorical series slots (light / dark surface steps of the same
+#: hues).  The ordering is part of the contract: adjacent pairs were
+#: validated for color-vision-deficiency separation, so do not reorder.
+PALETTE_LIGHT: Tuple[str, ...] = (
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+)
+PALETTE_DARK: Tuple[str, ...] = (
+    "#3987e5", "#d95926", "#199e70", "#c98500",
+    "#d55181", "#008300", "#9085e9", "#e66767",
+)
+
+#: hard cap on drawn series — past 8 the palette cannot stay
+#: distinguishable; callers fold or facet instead
+MAX_SERIES = len(PALETTE_LIGHT)
+
+_SERIES_VARS = "\n".join(
+    f"  --series-{i + 1}: {hexcode};"
+    for i, hexcode in enumerate(PALETTE_LIGHT)
+)
+_SERIES_VARS_DARK = "\n".join(
+    f"  --series-{i + 1}: {hexcode};"
+    for i, hexcode in enumerate(PALETTE_DARK)
+)
+
+
+def chart_css() -> str:
+    """The shared stylesheet every chart's markup is written against.
+
+    Scoped under ``.viz`` so it can be embedded once per HTML page or
+    inside each standalone SVG without colliding with page styles.
+    """
+    return f""".viz {{
+  color-scheme: light dark;
+  --surface-1: #fcfcfb;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+{_SERIES_VARS}
+}}
+@media (prefers-color-scheme: dark) {{
+  .viz {{
+    --surface-1: #1a1a19;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+{_SERIES_VARS_DARK}
+  }}
+}}
+.viz text {{
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+}}
+.viz .viz-title {{ fill: var(--ink); font-size: 13px; font-weight: 600; }}
+.viz .viz-label {{ fill: var(--muted); font-size: 11px; }}
+.viz .viz-value {{ fill: var(--ink-2); font-size: 10px; }}
+.viz .viz-tick {{
+  fill: var(--muted); font-size: 11px;
+  font-variant-numeric: tabular-nums;
+}}
+.viz .viz-grid {{ stroke: var(--grid); stroke-width: 1; }}
+.viz .viz-axis {{ stroke: var(--axis); stroke-width: 1; }}
+.viz .viz-surface {{ fill: var(--surface-1); }}
+"""
+
+
+def esc(text: object) -> str:
+    """Escape a value for SVG/XML text or attribute content."""
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def fmt_value(value: Optional[float]) -> str:
+    """Deterministic short formatting for data values and ticks."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not math.isfinite(value):
+        # stores are NaN/inf-safe, so renderers must be too
+        if math.isnan(value):
+            return "-"
+        return "inf" if value > 0 else "-inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def nice_ticks(
+    lo: float, hi: float, n: int = 5
+) -> List[float]:
+    """~*n* clean tick positions (1/2/5 steps) covering [lo, hi]."""
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        return [0.0, 1.0]
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        hi = lo + (abs(lo) or 1.0)
+    span = hi - lo
+    raw_step = span / max(1, n - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    i = 0
+    while True:
+        value = first + i * step
+        # snap near-zero floats so -0.0 / 1e-17 render as 0
+        ticks.append(0.0 if abs(value) < step * 1e-9 else value)
+        if value >= hi - step * 1e-9:
+            break
+        i += 1
+    return ticks
+
+
+#: one chart series: (name, one value per category/x-position)
+Series = Tuple[str, Sequence[Optional[float]]]
+
+
+def _clean(series: Sequence[Series]) -> Tuple[List[Series], int]:
+    """Apply the series cap; returns (kept, n_dropped)."""
+    kept = list(series[:MAX_SERIES])
+    return kept, max(0, len(series) - MAX_SERIES)
+
+
+def _value_range(series: Sequence[Series]) -> Tuple[float, float]:
+    values = [
+        v
+        for _name, vals in series
+        for v in vals
+        if v is not None and math.isfinite(v)
+    ]
+    if not values:
+        return 0.0, 1.0
+    return min(0.0, min(values)), max(0.0, max(values))
+
+
+def _legend(
+    series: Sequence[Series], x: float, y: float
+) -> str:
+    """A horizontal swatch+name legend row (omitted for one series)."""
+    if len(series) < 2:
+        return ""
+    parts = []
+    cx = x
+    for i, (name, _vals) in enumerate(series):
+        parts.append(
+            f'<rect x="{cx:.1f}" y="{y - 9:.1f}" width="10" height="10" '
+            f'rx="2" fill="var(--series-{i + 1})"/>'
+        )
+        parts.append(
+            f'<text class="viz-label" x="{cx + 14:.1f}" y="{y:.1f}">'
+            f"{esc(name)}</text>"
+        )
+        cx += 14 + 6.4 * max(1, len(str(name))) + 14
+    return "".join(parts)
+
+
+def _frame(
+    width: int,
+    height: int,
+    body: str,
+    title: Optional[str],
+    embed_style: bool,
+) -> str:
+    style = (
+        f"<style>{chart_css()}</style>" if embed_style else ""
+    )
+    title_el = (
+        f'<text class="viz-title" x="8" y="17">{esc(title)}</text>'
+        if title
+        else ""
+    )
+    return (
+        f'<svg class="viz" role="img" xmlns="http://www.w3.org/2000/svg" '
+        f'viewBox="0 0 {width} {height}" width="{width}" height="{height}">'
+        f"{style}"
+        f'<rect class="viz-surface" x="0" y="0" width="{width}" '
+        f'height="{height}" rx="6"/>'
+        f"{title_el}{body}</svg>"
+    )
+
+
+def _empty(width: int, height: int, title: Optional[str],
+           embed_style: bool) -> str:
+    body = (
+        f'<text class="viz-label" x="{width / 2:.1f}" '
+        f'y="{height / 2:.1f}" text-anchor="middle">(no data)</text>'
+    )
+    return _frame(width, height, body, title, embed_style)
+
+
+def _y_scale(
+    series: Sequence[Series], top: float, bottom: float
+) -> Tuple[List[float], float, float]:
+    """Ticks plus an affine y mapping for the padded value range."""
+    lo, hi = _value_range(series)
+    ticks = nice_ticks(lo, hi)
+    lo, hi = min(ticks[0], lo), max(ticks[-1], hi)
+    span = (hi - lo) or 1.0
+    scale = (bottom - top) / span
+    return ticks, lo, scale
+
+
+def _grid_and_yticks(
+    ticks: Sequence[float],
+    lo: float,
+    scale: float,
+    left: float,
+    right: float,
+    bottom: float,
+) -> str:
+    parts = []
+    for tick in ticks:
+        y = bottom - (tick - lo) * scale
+        parts.append(
+            f'<line class="viz-grid" x1="{left:.1f}" y1="{y:.1f}" '
+            f'x2="{right:.1f}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text class="viz-tick" x="{left - 6:.1f}" y="{y + 3.5:.1f}" '
+            f'text-anchor="end">{fmt_value(tick)}</text>'
+        )
+    return "".join(parts)
+
+
+def bar_chart(
+    categories: Sequence[object],
+    series: Sequence[Series],
+    title: Optional[str] = None,
+    width: int = 640,
+    height: int = 300,
+    embed_style: bool = True,
+    x_label: Optional[str] = None,
+) -> str:
+    """A grouped bar chart: one bar cluster per category.
+
+    ``series`` values align with ``categories``; ``None`` leaves a gap.
+    At most :data:`MAX_SERIES` series are drawn — extras are dropped
+    and announced in a caption, never silently.
+    """
+    series, n_dropped = _clean(series)
+    if not categories or not series:
+        return _empty(width, height, title, embed_style)
+
+    left, right = 56.0, width - 16.0
+    top = 30.0 if title else 14.0
+    bottom = height - (46.0 if len(series) > 1 else 34.0)
+    ticks, lo, scale = _y_scale(series, top, bottom)
+    body = [_grid_and_yticks(ticks, lo, scale, left, right, bottom)]
+    zero_y = bottom - (0.0 - lo) * scale
+
+    n_cat, n_ser = len(categories), len(series)
+    band = (right - left) / n_cat
+    gap = 2.0
+    bar_w = min(24.0, max(2.0, (band * 0.72 - gap * (n_ser - 1)) / n_ser))
+    cluster_w = bar_w * n_ser + gap * (n_ser - 1)
+    label_values = n_cat * n_ser <= 10
+
+    for ci, cat in enumerate(categories):
+        x0 = left + band * ci + (band - cluster_w) / 2
+        for si, (name, vals) in enumerate(series):
+            value = vals[ci] if ci < len(vals) else None
+            if value is None or not math.isfinite(value):
+                continue
+            x = x0 + si * (bar_w + gap)
+            y = bottom - (value - lo) * scale
+            body.append(
+                _bar_path(x, y, bar_w, zero_y, si)
+                + f"<title>{esc(name + ' · ' if name else '')}"
+                + f"{esc(cat)}: {fmt_value(value)}</title></path>"
+            )
+            if label_values and value >= 0:
+                body.append(
+                    f'<text class="viz-value" x="{x + bar_w / 2:.1f}" '
+                    f'y="{y - 4:.1f}" text-anchor="middle">'
+                    f"{fmt_value(value)}</text>"
+                )
+    body.append(
+        f'<line class="viz-axis" x1="{left:.1f}" y1="{zero_y:.1f}" '
+        f'x2="{right:.1f}" y2="{zero_y:.1f}"/>'
+    )
+    body.append(_x_category_labels(categories, left, band, bottom))
+    if x_label:
+        body.append(
+            f'<text class="viz-label" x="{(left + right) / 2:.1f}" '
+            f'y="{bottom + 30:.1f}" text-anchor="middle">'
+            f"{esc(x_label)}</text>"
+        )
+    body.append(_legend(series, left, height - 8))
+    body.append(_dropped_note(n_dropped, right, top))
+    return _frame(width, height, "".join(body), title, embed_style)
+
+
+def _bar_path(
+    x: float, y: float, w: float, baseline: float, series_index: int
+) -> str:
+    """A bar with a 4px-rounded data-end and a square baseline end."""
+    up = y <= baseline  # positive bars grow upward
+    r = min(4.0, w / 2, abs(baseline - y))
+    if up:
+        d = (
+            f"M{x:.1f},{baseline:.1f} L{x:.1f},{y + r:.1f} "
+            f"Q{x:.1f},{y:.1f} {x + r:.1f},{y:.1f} "
+            f"L{x + w - r:.1f},{y:.1f} "
+            f"Q{x + w:.1f},{y:.1f} {x + w:.1f},{y + r:.1f} "
+            f"L{x + w:.1f},{baseline:.1f} Z"
+        )
+    else:
+        d = (
+            f"M{x:.1f},{baseline:.1f} L{x:.1f},{y - r:.1f} "
+            f"Q{x:.1f},{y:.1f} {x + r:.1f},{y:.1f} "
+            f"L{x + w - r:.1f},{y:.1f} "
+            f"Q{x + w:.1f},{y:.1f} {x + w:.1f},{y - r:.1f} "
+            f"L{x + w:.1f},{baseline:.1f} Z"
+        )
+    return f'<path d="{d}" fill="var(--series-{series_index + 1})">'
+
+
+def _x_category_labels(
+    categories: Sequence[object], left: float, band: float, bottom: float
+) -> str:
+    step = max(1, math.ceil(len(categories) / 12))
+    parts = []
+    for ci, cat in enumerate(categories):
+        if ci % step:
+            continue
+        x = left + band * ci + band / 2
+        parts.append(
+            f'<text class="viz-tick" x="{x:.1f}" y="{bottom + 16:.1f}" '
+            f'text-anchor="middle">{esc(cat)}</text>'
+        )
+    return "".join(parts)
+
+
+def _dropped_note(n_dropped: int, right: float, top: float) -> str:
+    if not n_dropped:
+        return ""
+    return (
+        f'<text class="viz-label" x="{right:.1f}" y="{top - 4:.1f}" '
+        f'text-anchor="end">(+{n_dropped} series omitted — '
+        f"narrow the grouping)</text>"
+    )
+
+
+def line_chart(
+    x_values: Sequence[object],
+    series: Sequence[Series],
+    title: Optional[str] = None,
+    width: int = 640,
+    height: int = 300,
+    embed_style: bool = True,
+    x_label: Optional[str] = None,
+) -> str:
+    """A multi-series line chart over ordered x positions.
+
+    Numeric ``x_values`` are placed proportionally; non-numeric ones
+    fall back to even spacing.  Markers carry a 2px surface ring and a
+    native tooltip; dense series (> 16 points) mark endpoints only.
+    """
+    series, n_dropped = _clean(series)
+    if not x_values or not series:
+        return _empty(width, height, title, embed_style)
+
+    left, right = 56.0, width - 20.0
+    top = 30.0 if title else 14.0
+    bottom = height - (46.0 if len(series) > 1 else 34.0)
+    ticks, lo, scale = _y_scale(series, top, bottom)
+    body = [_grid_and_yticks(ticks, lo, scale, left, right, bottom)]
+
+    numeric = all(isinstance(x, (int, float)) for x in x_values)
+    if numeric and len(x_values) > 1:
+        x_lo, x_hi = float(min(x_values)), float(max(x_values))
+        x_span = (x_hi - x_lo) or 1.0
+        xs = [
+            left + (float(x) - x_lo) / x_span * (right - left)
+            for x in x_values
+        ]
+    else:
+        band = (right - left) / max(1, len(x_values) - 1 or 1)
+        xs = [left + band * i for i in range(len(x_values))]
+
+    mark_all = len(x_values) <= 16
+    for si, (name, vals) in enumerate(series):
+        points = [
+            (xs[i], bottom - (v - lo) * scale, x_values[i], v)
+            for i, v in enumerate(vals[: len(xs)])
+            if v is not None and math.isfinite(v)
+        ]
+        if not points:
+            continue
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{px:.1f},{py:.1f}"
+            for i, (px, py, _x, _v) in enumerate(points)
+        )
+        body.append(
+            f'<path d="{path}" fill="none" '
+            f'stroke="var(--series-{si + 1})" stroke-width="2" '
+            f'stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+        marked = points if mark_all else [points[0], points[-1]]
+        for px, py, xv, v in marked:
+            body.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="4" '
+                f'fill="var(--series-{si + 1})" '
+                f'stroke="var(--surface-1)" stroke-width="2">'
+                f"<title>{esc(name + ' · ' if name else '')}"
+                f"{esc(xv)}: {fmt_value(v)}</title></circle>"
+            )
+
+    body.append(
+        f'<line class="viz-axis" x1="{left:.1f}" y1="{bottom:.1f}" '
+        f'x2="{right:.1f}" y2="{bottom:.1f}"/>'
+    )
+    step = max(1, math.ceil(len(x_values) / 12))
+    for i, xv in enumerate(x_values):
+        if i % step:
+            continue
+        body.append(
+            f'<text class="viz-tick" x="{xs[i]:.1f}" '
+            f'y="{bottom + 16:.1f}" text-anchor="middle">{esc(xv)}</text>'
+        )
+    if x_label:
+        body.append(
+            f'<text class="viz-label" x="{(left + right) / 2:.1f}" '
+            f'y="{bottom + 30:.1f}" text-anchor="middle">'
+            f"{esc(x_label)}</text>"
+        )
+    body.append(_legend(series, left, height - 8))
+    body.append(_dropped_note(n_dropped, right, top))
+    return _frame(width, height, "".join(body), title, embed_style)

@@ -16,6 +16,7 @@ Campaigns (durable, resumable scenario grids)::
         --filter mechanism=N&PAA seed=2
     repro-hybrid campaign status --dir runs/grid
     repro-hybrid campaign report --dir runs/grid --by mechanism
+    repro-hybrid campaign report --dir runs/grid --html report.html --open
     repro-hybrid campaign report --dir runs/easy --diff runs/conservative
     repro-hybrid campaign gc --dir runs/grid --drop-errors
 
@@ -139,6 +140,14 @@ def make_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="per-node MTBF in days for failure injection (0 = off)",
+    )
+    parser.add_argument(
+        "--html",
+        dest="html_out",
+        default=None,
+        metavar="FILE",
+        help="write the exhibit as a self-contained HTML page "
+        "(inline SVG charts where the exhibit has them)",
     )
     return parser
 
@@ -333,6 +342,28 @@ def make_campaign_parser() -> argparse.ArgumentParser:
         default=None,
         help="second campaign directory to diff against",
     )
+    report_p.add_argument(
+        "--html",
+        dest="html_out",
+        default=None,
+        metavar="FILE",
+        help="also write a self-contained HTML report (inline SVG "
+        "charts, sortable pivot, diff dashboard; opens offline)",
+    )
+    report_p.add_argument(
+        "--x",
+        dest="chart_x",
+        default=None,
+        metavar="FIELD",
+        help="config field for the HTML charts' x-axis "
+        "(default: the last --by field)",
+    )
+    report_p.add_argument(
+        "--open",
+        dest="open_html",
+        action="store_true",
+        help="open the --html file in the default browser",
+    )
     return parser
 
 
@@ -520,9 +551,10 @@ def campaign_main(argv: List[str]) -> int:
         print(status_report(args.directory))
         return 0
     if args.command == "report":
-        _, records = load_campaign(args.directory)
+        spec_dict, records = load_campaign(args.directory)
         by = tuple(args.by) if args.by else DEFAULT_GROUP_BY
         metrics = tuple(args.metrics) if args.metrics else DEFAULT_METRICS
+        other = None
         if args.diff:
             _, other = load_campaign(args.diff)
             print(
@@ -536,6 +568,29 @@ def campaign_main(argv: List[str]) -> int:
             )
         else:
             print(report_text(records, by=by, metrics=metrics))
+        if args.html_out:
+            from repro.campaign.html import render_campaign_html
+
+            document = render_campaign_html(
+                records,
+                spec_dict=spec_dict,
+                by=by,
+                metrics=metrics,
+                x=args.chart_x,
+                diff_records=other,
+                a_name=args.directory,
+                b_name=args.diff or "B",
+            )
+            with open(args.html_out, "w", encoding="utf-8") as fh:
+                fh.write(document)
+            print(f"HTML report written to {args.html_out}")
+            if args.open_html:
+                import webbrowser
+                from pathlib import Path
+
+                webbrowser.open(Path(args.html_out).resolve().as_uri())
+        elif args.open_html:
+            raise SystemExit("--open requires --html FILE")
         return 0
     raise AssertionError(args.command)  # pragma: no cover
 
@@ -558,7 +613,9 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return campaign_main(argv[1:])
     args = make_parser().parse_args(argv)
     if args.exhibit == "table3":
-        print(figures.table3_mixes()["text"])
+        out = figures.table3_mixes()
+        print(out["text"])
+        _write_exhibit_html(args, out)
         return 0
     config = _build_config(args)
     if args.exhibit == "table1":
@@ -580,7 +637,24 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     else:  # pragma: no cover - argparse guards this
         raise AssertionError(args.exhibit)
     print(out["text"])
+    _write_exhibit_html(args, out)
     return 0
+
+
+def _write_exhibit_html(args: argparse.Namespace, out: dict) -> None:
+    """Honor ``--html FILE`` for an exhibit driver's result dict."""
+    if not getattr(args, "html_out", None):
+        return
+    from repro.campaign.html import render_exhibit_html
+
+    document = render_exhibit_html(
+        f"repro-hybrid {args.exhibit}",
+        charts=out.get("charts", ()),
+        text=out.get("text"),
+    )
+    with open(args.html_out, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    print(f"HTML exhibit written to {args.html_out}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -132,7 +132,20 @@ def fig5_burstiness(
         rows,
         title="Fig. 5 — weekly on-demand submissions",
     )
-    return {"series": series, "text": text}
+    from repro.campaign.svg import line_chart
+
+    n_weeks = max((len(c) for c in series.values()), default=0)
+    chart = line_chart(
+        list(range(1, n_weeks + 1)),
+        [
+            (f"seed-{seed}", [float(c) for c in counts])
+            for seed, counts in series.items()
+        ],
+        title="Fig. 5 — weekly on-demand submissions",
+        x_label="week",
+    )
+    charts = [("weekly on-demand submissions", chart)] if series else []
+    return {"series": series, "text": text, "charts": charts}
 
 
 # ----------------------------------------------------------------------
@@ -260,7 +273,12 @@ def fig6_mechanisms(
             )
         )
         parts.append("")
-    return {"sweep": sweep, "text": "\n".join(parts)}
+    charts = _grid_charts(
+        sweep,
+        x_label="notice mix",
+        title_prefix="Fig. 6",
+    )
+    return {"sweep": sweep, "text": "\n".join(parts), "charts": charts}
 
 
 # ----------------------------------------------------------------------
@@ -316,7 +334,80 @@ def fig7_checkpointing(
             )
         )
         parts.append("")
-    return {"results": results, "text": "\n".join(parts)}
+    charts = _grid_charts(
+        {f"x{m:g}": results[m] for m in multipliers},
+        x_label="checkpoint interval multiplier",
+        title_prefix="Fig. 7",
+        numeric_x=[float(m) for m in multipliers],
+    )
+    return {"results": results, "text": "\n".join(parts), "charts": charts}
+
+
+# ----------------------------------------------------------------------
+# Shared chart emission (Fig. 6 / Fig. 7 grids)
+# ----------------------------------------------------------------------
+
+#: the metrics the paper's Fig. 6/7 panels chart, one chart per metric
+CHART_METRICS: Sequence[str] = (
+    "avg_turnaround_h",
+    "system_utilization",
+    "instant_start_rate",
+    "preemption_ratio_rigid",
+    "preemption_ratio_malleable",
+)
+
+
+def _grid_charts(
+    grid: Dict[str, Dict[Optional[str], SummaryMetrics]],
+    x_label: str,
+    title_prefix: str,
+    numeric_x: Optional[Sequence[float]] = None,
+    metrics: Sequence[str] = CHART_METRICS,
+) -> List[tuple]:
+    """Per-metric charts for an (x-point -> mechanism -> summary) grid.
+
+    The campaign HTML exporter and the paper-figure drivers both render
+    through :mod:`repro.campaign.svg`, so a figure regenerated here and
+    a campaign report over the same cells look identical.  A numeric x
+    axis (Fig. 7's multipliers) draws lines; categorical x (Fig. 6's
+    mixes) draws grouped bars — one chart per metric, mechanisms as the
+    series, matching the paper's panel layout.
+    """
+    from repro.campaign.svg import bar_chart, line_chart
+
+    x_points = list(grid)
+    mechanisms: List[Optional[str]] = []
+    for per_mech in grid.values():
+        for name in per_mech:
+            if name not in mechanisms:
+                mechanisms.append(name)
+    charts = []
+    for metric in metrics:
+        series = []
+        for mech in mechanisms:
+            values = []
+            for x in x_points:
+                summary = grid[x].get(mech)
+                value = (
+                    summary.as_dict().get(metric) if summary else None
+                )
+                values.append(
+                    float(value)
+                    if isinstance(value, (int, float))
+                    else None
+                )
+            series.append((mech or "baseline", values))
+        title = f"{title_prefix} — {metric}"
+        if numeric_x is not None and len(numeric_x) >= 3:
+            chart = line_chart(
+                list(numeric_x), series, title=title, x_label=x_label
+            )
+        else:
+            chart = bar_chart(
+                x_points, series, title=title, x_label=x_label
+            )
+        charts.append((metric, chart))
+    return charts
 
 
 # ----------------------------------------------------------------------

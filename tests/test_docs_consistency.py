@@ -2,6 +2,7 @@
 
 import pathlib
 import re
+import shlex
 
 import pytest
 
@@ -56,6 +57,54 @@ class TestReadmeQuickstart:
     def test_docs_files_exist(self):
         for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
             assert (ROOT / doc).stat().st_size > 1000
+
+
+def cli_snippets(doc_text: str):
+    """Every ``repro-hybrid …`` command inside the doc's bash blocks.
+
+    Continuation backslashes are joined and trailing ``#`` comments
+    stripped, so each yielded string is one complete command line.
+    """
+    commands = []
+    for block in re.findall(r"```bash\n(.*?)```", doc_text, re.DOTALL):
+        block = block.replace("\\\n", " ")
+        for line in block.splitlines():
+            line = line.strip()
+            if line.startswith("repro-hybrid "):
+                commands.append(line)
+    return commands
+
+
+class TestCliSnippetsParse:
+    """Every documented CLI invocation must parse against the real
+    argparse trees — docs and CLI cannot drift apart silently."""
+
+    @pytest.mark.parametrize("doc", ["README.md", "EXPERIMENTS.md"])
+    def test_doc_snippets_parse(self, doc, capsys):
+        from repro.experiments.cli import make_campaign_parser, make_parser
+
+        snippets = cli_snippets((ROOT / doc).read_text())
+        assert snippets, f"{doc} lost all its CLI snippets"
+        for command in snippets:
+            argv = shlex.split(command, comments=True)[1:]
+            try:
+                if argv and argv[0] == "campaign":
+                    make_campaign_parser().parse_args(argv[1:])
+                else:
+                    make_parser().parse_args(argv)
+            except SystemExit as exc:  # argparse rejected the snippet
+                capsys.readouterr()  # keep usage noise out of the report
+                raise AssertionError(
+                    f"{doc} documents a command the CLI rejects "
+                    f"(exit {exc.code}): {command}"
+                ) from None
+
+    def test_snippet_extractor_sees_continuations(self):
+        text = "```bash\nrepro-hybrid campaign run \\\n    --dir d\n```"
+        (snippet,) = cli_snippets(text)
+        assert shlex.split(snippet) == [
+            "repro-hybrid", "campaign", "run", "--dir", "d",
+        ]
 
 
 class TestDesignInventory:

@@ -1,0 +1,369 @@
+"""Report model layer: typed pivots, diffs, error listings, series.
+
+These tests drive :mod:`repro.campaign.report` with hand-built records
+(no simulation), so they pin down the model semantics — grouping,
+seed-averaging, diff joining, regression classification, and the
+error-only edge cases — independently of the renderers.
+"""
+
+import math
+
+import pytest
+
+from repro.campaign.report import (
+    DEFAULT_METRICS,
+    METRIC_DIRECTIONS,
+    DiffRow,
+    build_diff,
+    build_errors,
+    build_pivot,
+    build_series,
+    diff_text,
+    report_text,
+)
+from repro.campaign.store import CellRecord
+from repro.metrics.summary import SummaryMetrics
+
+_SUMMARY_DEFAULTS = dict(
+    mechanism=None,
+    n_jobs=10,
+    n_rigid=5,
+    n_malleable=3,
+    n_ondemand=2,
+    n_noshow=0,
+    avg_turnaround_h=4.0,
+    avg_turnaround_rigid_h=5.0,
+    avg_turnaround_malleable_h=3.0,
+    avg_turnaround_ondemand_h=1.0,
+    instant_start_rate=0.5,
+    avg_ondemand_delay_s=30.0,
+    preemption_ratio_rigid=0.1,
+    preemption_ratio_malleable=0.2,
+    shrink_ratio_malleable=0.0,
+    system_utilization=0.8,
+    allocated_frac=0.8,
+    lost_compute_frac=0.0,
+    wasted_setup_frac=0.0,
+    checkpoint_frac=0.0,
+    reserved_idle_frac=0.0,
+    decision_latency_p50_s=0.001,
+    decision_latency_max_s=0.01,
+    makespan_h=48.0,
+    lease_resumes=0,
+    lease_expands=0,
+)
+
+
+def summary_dict(**overrides) -> dict:
+    return SummaryMetrics(**{**_SUMMARY_DEFAULTS, **overrides}).to_dict()
+
+
+def ok_record(key, mechanism="N&PAA", seed=1, backfill="easy", **metrics):
+    config = {
+        "days": 2.0,
+        "target_load": 0.6,
+        "system_size": 512,
+        "notice_mix": "W5",
+        "mechanism": mechanism,
+        "backfill_mode": backfill,
+        "checkpoint_multiplier": 1.0,
+        "failure_mtbf_days": 0.0,
+        "seed": seed,
+        "kind": "sim",
+        "spec_overrides": {},
+        "sim_overrides": {},
+    }
+    return CellRecord(
+        key=key,
+        config=config,
+        status="ok",
+        summary=summary_dict(mechanism=mechanism, **metrics),
+        elapsed_s=1.0,
+    )
+
+
+def error_record(key, mechanism="N&PAA", seed=1):
+    config = dict(ok_record("x", mechanism=mechanism, seed=seed).config)
+    return CellRecord(
+        key=key,
+        config=config,
+        status="error",
+        error="Traceback (most recent call last):\nValueError: boom",
+        elapsed_s=0.5,
+    )
+
+
+class TestBuildPivot:
+    def test_groups_and_averages_over_seeds(self):
+        records = [
+            ok_record("a", seed=1, avg_turnaround_h=4.0),
+            ok_record("b", seed=2, avg_turnaround_h=6.0),
+            ok_record("c", mechanism=None, seed=1, avg_turnaround_h=8.0),
+        ]
+        pivot = build_pivot(records, by=("mechanism",))
+        assert [r.group for r in pivot.rows] == [("N&PAA",), ("baseline",)]
+        assert pivot.rows[0].n_cells == 2
+        assert pivot.rows[0].values["avg_turnaround_h"] == pytest.approx(5.0)
+        assert pivot.rows[1].values["avg_turnaround_h"] == pytest.approx(8.0)
+        assert pivot.n_ok == 3 and pivot.n_error == 0
+
+    def test_errors_counted_not_grouped(self):
+        records = [ok_record("a"), error_record("e")]
+        pivot = build_pivot(records, by=("mechanism",))
+        assert len(pivot.rows) == 1
+        assert pivot.n_error == 1
+
+    def test_unknown_metric_rejected(self):
+        """A typo'd metric fails loudly instead of rendering blanks."""
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no_such_metric"):
+            build_pivot([ok_record("a")], metrics=("no_such_metric",))
+        with pytest.raises(ConfigurationError, match="avg_turnaroud_h"):
+            build_diff(
+                [ok_record("a")],
+                [ok_record("b")],
+                metrics=("avg_turnaroud_h",),
+            )
+
+    def test_report_text_roundtrip(self):
+        text = report_text([ok_record("a")], by=("mechanism",))
+        assert "N&PAA" in text and "avg_turnaround_h" in text
+        assert report_text([]) == "(no completed simulation cells)"
+
+
+class TestBuildDiff:
+    def test_deltas_and_directions(self):
+        a = [ok_record("a", avg_turnaround_h=4.0, system_utilization=0.8)]
+        b = [ok_record("b", avg_turnaround_h=5.0, system_utilization=0.9)]
+        diff = build_diff(a, b)
+        rows = {r.metric: r for r in diff.rows}
+        turnaround = rows["avg_turnaround_h"]
+        assert turnaround.delta == pytest.approx(1.0)
+        assert turnaround.pct == pytest.approx(0.25)
+        # turnaround went up and lower-is-better: a regression
+        assert turnaround.regression and not turnaround.improvement
+        util = rows["system_utilization"]
+        assert util.improvement and not util.regression
+        assert diff.n_regressions >= 1 and diff.n_improvements >= 1
+
+    def test_small_changes_are_noise(self):
+        a = [ok_record("a", avg_turnaround_h=4.000)]
+        b = [ok_record("b", avg_turnaround_h=4.001)]
+        diff = build_diff(a, b)
+        row = {r.metric: r for r in diff.rows}["avg_turnaround_h"]
+        assert not row.regression and not row.improvement
+
+    def test_varying_axis_detected_and_joined(self):
+        a = [ok_record("a", backfill="easy")]
+        b = [ok_record("b", backfill="conservative")]
+        diff = build_diff(a, b)
+        assert diff.varying == ("backfill_mode",)
+        assert diff.comparable
+
+    def test_every_direction_is_a_summary_metric(self):
+        fields = set(SummaryMetrics.__dataclass_fields__)
+        assert set(METRIC_DIRECTIONS) <= fields
+        assert set(DEFAULT_METRICS) <= set(METRIC_DIRECTIONS)
+
+    def test_nan_values_never_classify(self):
+        row = DiffRow(
+            label="x",
+            metric="avg_turnaround_h",
+            a=math.nan,
+            b=math.nan,
+            delta=math.nan,
+            pct=None,
+            direction=-1,
+        )
+        assert not row.regression and not row.improvement
+
+
+class TestDiffErrorOnly:
+    """Regression: error-only campaign directories must diff gracefully
+    ("no comparable cells"), never crash — in every direction."""
+
+    def _check(self, a, b):
+        diff = build_diff(a, b, a_name="A", b_name="B")
+        assert not diff.comparable
+        assert diff.rows == ()
+        text = diff_text(a, b)
+        assert "no comparable cells" in text
+        return diff
+
+    def test_both_error_only(self):
+        diff = self._check([error_record("e1")], [error_record("e2")])
+        assert diff.n_a_errors == 1 and diff.n_b_errors == 1
+        assert diff.varying == ()
+
+    def test_a_error_only(self):
+        diff = self._check([error_record("e1")], [ok_record("b")])
+        assert diff.n_b_ok == 1
+
+    def test_b_error_only(self):
+        diff = self._check([ok_record("a")], [error_record("e1")])
+        assert diff.n_a_ok == 1
+
+    def test_both_empty(self):
+        self._check([], [])
+
+    def test_colliding_short_labels_still_start_blocks(self):
+        """Two joined cells whose short labels render identically (they
+        differ only in a field the label omits) must each print their
+        label — block position, not label equality, decides."""
+        a1 = ok_record("a1", seed=1)
+        a2_cfg = {**dict(a1.config), "target_load": 0.9}
+        a2 = CellRecord(
+            key="a2", config=a2_cfg, status="ok", summary=a1.summary
+        )
+        text = diff_text(
+            [a1, a2],
+            [a1, a2],
+            metrics=("avg_turnaround_h",),
+        )
+        # one labeled row per cell, even though the labels are equal
+        assert text.count("N&PAA mix=W5 d=2") == 2
+
+    def test_error_only_text_reports_counts(self):
+        text = diff_text([error_record("e1")], [error_record("e2")])
+        assert "1 error records" in text
+
+    def test_cli_report_diff_error_only_dirs(self, tmp_path, capsys):
+        """End-to-end through ``campaign report --diff`` on directories
+        holding only error records (the originally-reported crash)."""
+        from repro.campaign.executor import run_campaign
+        from repro.campaign.spec import CampaignSpec
+        from repro.experiments.cli import campaign_main
+
+        bad = CampaignSpec.from_dict(
+            {
+                "name": "bad",
+                "days": 2,
+                "target_load": 0.6,
+                "system_size": 512,
+                "seeds": [1],
+                "spec_overrides": {"min_size": 100_000},
+            }
+        )
+        for sub in ("a", "b"):
+            result = run_campaign(bad, directory=str(tmp_path / sub))
+            assert result.n_failed == result.n_total
+        code = campaign_main(
+            [
+                "report",
+                "--dir",
+                str(tmp_path / "a"),
+                "--diff",
+                str(tmp_path / "b"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no comparable cells" in out
+
+
+class TestBuildErrors:
+    def test_entries_capture_traceback(self):
+        entries = build_errors([ok_record("a"), error_record("e")])
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.key == "e"
+        assert entry.last_line == "ValueError: boom"
+        assert "Traceback" in entry.error
+        assert "N&PAA" in entry.label
+
+    def test_empty_error_text(self):
+        record = CellRecord(
+            key="e", config={"mechanism": None, "seed": 1}, status="error"
+        )
+        entry = build_errors([record])[0]
+        assert entry.last_line == "?"
+
+
+class TestBuildSeries:
+    def _grid(self):
+        records = []
+        key = 0
+        for mech in ("N&PAA", None):
+            for seed in (1, 2):
+                for days, turnaround in ((2.0, 4.0), (3.0, 6.0)):
+                    r = ok_record(
+                        f"k{key}",
+                        mechanism=mech,
+                        seed=seed,
+                        avg_turnaround_h=turnaround + seed,
+                    )
+                    config = dict(r.config)
+                    config["days"] = days
+                    records.append(
+                        CellRecord(
+                            key=r.key,
+                            config=config,
+                            status="ok",
+                            summary=r.summary,
+                            elapsed_s=1.0,
+                        )
+                    )
+                    key += 1
+        return records
+
+    def test_series_over_numeric_axis(self):
+        charted = build_series(
+            self._grid(),
+            x="days",
+            by=("mechanism",),
+            metrics=("avg_turnaround_h",),
+        )
+        assert len(charted) == 1
+        ms = charted[0]
+        assert ms.x_values == (2.0, 3.0)
+        assert ms.numeric_x
+        names = [name for name, _vals in ms.series]
+        assert names == ["N&PAA", "baseline"]
+        # seed-averaged: ((4+1) + (4+2))/2 = 5.5 at days=2
+        assert ms.series[0][1][0] == pytest.approx(5.5)
+        assert ms.series[0][1][1] == pytest.approx(7.5)
+
+    def test_x_field_removed_from_grouping(self):
+        charted = build_series(
+            self._grid(),
+            x="mechanism",
+            by=("mechanism",),
+            metrics=("avg_turnaround_h",),
+        )
+        ms = charted[0]
+        assert ms.x_values == ("N&PAA", "baseline")
+        assert len(ms.series) == 1
+        assert ms.series[0][0] == ""
+
+    def test_unknown_x_axis_rejected(self):
+        """A typo'd --x (e.g. 'load' for 'target_load') fails loudly
+        instead of collapsing every chart onto one x position."""
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="target_load"):
+            build_series(
+                [ok_record("a")],
+                x="load",
+                metrics=("avg_turnaround_h",),
+            )
+        # error-only records: nothing to chart, nothing to validate
+        assert build_series(
+            [error_record("e")], x="load", metrics=("avg_turnaround_h",)
+        )[0].x_values == ()
+
+    def test_absent_cells_are_none(self):
+        records = [ok_record("a", mechanism="N&PAA")]
+        records.append(
+            CellRecord(
+                key="b",
+                config={**dict(records[0].config), "days": 9.0},
+                status="error",
+                error="x",
+            )
+        )
+        ms = build_series(
+            records, x="days", by=(), metrics=("avg_turnaround_h",)
+        )[0]
+        assert ms.x_values == (2.0,)
+        assert ms.series[0][1] == (pytest.approx(4.0),)
