@@ -1,0 +1,242 @@
+"""Simulator-core throughput: incremental scheduling vs full replanning.
+
+The incremental core (PR 5) keeps a shared availability timeline updated
+through the simulator's mutation funnel and skips scheduling passes that
+provably cannot change a decision; ``SimConfig.force_full_replan=True``
+restores the seed behaviour (re-derive every planner input from scratch
+inside every pass, never skip).  This benchmark runs synthetic
+1k/5k/10k-job scenarios — a near-saturated 4096-node machine packed
+with small jobs, so the running set (and therefore the per-pass rebuild
+the seed paid for) is large — across mechanisms and both backfill
+planners, and asserts the ISSUE floor:
+
+* **>= 3x wall-clock speedup** over ``force_full_replan=True`` at 10k
+  jobs (aggregated over the EASY scenarios; typically it is >20x);
+* **byte-identical metrics** between the two modes for every scenario
+  (``replan_invariant_view`` masks only wall-clock fields and the
+  executed/skipped pass counters).
+
+``REPRO_BENCH_PROFILE=0`` skips the cProfile artifact of the 10k run
+(written to ``benchmarks/out/bench_sim_core_10k.prof`` + a readable
+top-function listing for the CI artifact upload).
+"""
+
+import cProfile
+import json
+import os
+import pstats
+import time
+
+from repro.core.mechanisms import Mechanism
+from repro.jobs.checkpoint import CheckpointModel
+from repro.jobs.job import Job, JobType, NoticeClass
+from repro.metrics.report import format_table
+from repro.metrics.summary import replan_invariant_view, summarize
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulation
+from repro.util.rng import RngStreams
+from repro.workload.trace import clone_jobs
+
+from conftest import OUT_DIR, emit  # noqa: F401 - fixture re-export
+
+SYSTEM = 4096
+SIZES = (1_000, 5_000, 10_000)
+ASSERT_AT = 10_000
+SPEEDUP_FLOOR = 3.0
+#: EASY scenarios timed at every size (the assertion set)
+MECHANISMS = (None, "CUA&SPAA")
+
+
+def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
+    """A near-saturated stream of small jobs (big running set).
+
+    Sizes 1-3 on 4096 nodes with ~2.5 h runtimes keep thousands of jobs
+    running at once: exactly the regime where the seed's per-pass
+    rebuild (O(running log running) sort per event batch) dominated.
+    5% of jobs are on-demand with accurate advance notice, 15%
+    malleable — so reservations, loans, shrinks, and the resulting
+    stale events all appear at scale.
+    """
+    rng = RngStreams(seed).get("bench-sim-core")
+    avg_size, avg_runtime = 2.0, 9000.0
+    rate = load * SYSTEM / (avg_size * avg_runtime)
+    jobs, t = [], 0.0
+    for i in range(n_jobs):
+        t += float(rng.exponential(1.0 / rate))
+        u = float(rng.uniform())
+        size = int(rng.integers(1, 4))
+        runtime = float(rng.uniform(6_000.0, 12_000.0))
+        estimate = runtime * float(rng.uniform(1.0, 1.5))
+        if u < 0.05:
+            lead = float(rng.uniform(900.0, 1_800.0))
+            jobs.append(
+                Job(
+                    job_id=i,
+                    job_type=JobType.ONDEMAND,
+                    submit_time=t,
+                    size=min(size * 4, 64),
+                    runtime=runtime / 10,
+                    estimate=estimate / 10,
+                    notice_class=NoticeClass.ACCURATE,
+                    notice_time=max(0.0, t - lead),
+                    estimated_arrival=t,
+                )
+            )
+        elif u < 0.20:
+            jobs.append(
+                Job(
+                    job_id=i,
+                    job_type=JobType.MALLEABLE,
+                    submit_time=t,
+                    size=size,
+                    min_size=1,
+                    runtime=runtime,
+                    estimate=estimate,
+                )
+            )
+        else:
+            jobs.append(
+                Job(
+                    job_id=i,
+                    job_type=JobType.RIGID,
+                    submit_time=t,
+                    size=size,
+                    runtime=runtime,
+                    estimate=estimate,
+                )
+            )
+    return jobs
+
+
+def _config(force_full_replan: bool, backfill_mode: str = "easy") -> SimConfig:
+    return SimConfig(
+        system_size=SYSTEM,
+        checkpoint=CheckpointModel.disabled(),
+        backfill_mode=backfill_mode,
+        backfill_depth=16,
+        force_full_replan=force_full_replan,
+    )
+
+
+def _run(jobs, config, mech_name):
+    mech = Mechanism.parse(mech_name) if mech_name else None
+    t0 = time.perf_counter()
+    result = Simulation(clone_jobs(jobs), config, mech).run()
+    return time.perf_counter() - t0, result
+
+
+def test_incremental_core_speedup(emit):  # noqa: F811
+    rows = []
+    totals = {}  # n_jobs -> [inc_total, full_total]
+    for n_jobs in SIZES:
+        jobs = synth_jobs(n_jobs)
+        for mech_name in MECHANISMS:
+            inc_s, inc = _run(jobs, _config(False), mech_name)
+            full_s, full = _run(jobs, _config(True), mech_name)
+            assert replan_invariant_view(summarize(inc)) == (
+                replan_invariant_view(summarize(full))
+            ), f"metric drift at n={n_jobs} mech={mech_name}"
+            tot = totals.setdefault(n_jobs, [0.0, 0.0])
+            tot[0] += inc_s
+            tot[1] += full_s
+            rows.append(
+                [
+                    n_jobs,
+                    mech_name or "baseline",
+                    f"{full_s:.2f}",
+                    f"{inc_s:.2f}",
+                    f"{full_s / inc_s:.1f}x",
+                    inc.schedule_passes,
+                    inc.passes_skipped,
+                ]
+            )
+    speedups = {n: t[1] / t[0] for n, t in totals.items()}
+    emit(
+        "bench_sim_core",
+        format_table(
+            [
+                "jobs",
+                "mechanism",
+                "full replan s",
+                "incremental s",
+                "speedup",
+                "passes",
+                "skipped",
+            ],
+            rows,
+            title=(
+                "Simulator core: incremental availability profile + pass "
+                f"skipping vs force_full_replan (speedup@10k="
+                f"{speedups.get(ASSERT_AT, float('nan')):.1f}x)"
+            ),
+        ),
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "bench_sim_core.json").write_text(
+        json.dumps(
+            {
+                "system_size": SYSTEM,
+                "speedups": {str(k): v for k, v in speedups.items()},
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert speedups[ASSERT_AT] >= SPEEDUP_FLOOR, (
+        f"incremental core only {speedups[ASSERT_AT]:.2f}x faster than "
+        f"full replanning at {ASSERT_AT} jobs (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_conservative_planner_speedup(emit):  # noqa: F811
+    """Conservative backfilling builds its per-pass working profile from
+    the shared timeline without sorting; smaller win, same equivalence."""
+    jobs = synth_jobs(1_000)
+    inc_s, inc = _run(jobs, _config(False, "conservative"), None)
+    full_s, full = _run(jobs, _config(True, "conservative"), None)
+    assert replan_invariant_view(summarize(inc)) == (
+        replan_invariant_view(summarize(full))
+    )
+    emit(
+        "bench_sim_core_conservative",
+        f"conservative backfill, 1k jobs: full={full_s:.2f}s "
+        f"incremental={inc_s:.2f}s ({full_s / inc_s:.1f}x)",
+    )
+    assert inc_s <= full_s * 1.10, (
+        "incremental conservative planning slower than full replan: "
+        f"{inc_s:.2f}s vs {full_s:.2f}s"
+    )
+
+
+def test_profile_artifact(emit):  # noqa: F811
+    """cProfile of the 10k-job incremental run (uploaded by CI)."""
+    if os.environ.get("REPRO_BENCH_PROFILE", "1") == "0":
+        return
+    jobs = synth_jobs(ASSERT_AT)
+    config = _config(False)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = Simulation(clone_jobs(jobs), config, None).run()
+    profiler.disable()
+    OUT_DIR.mkdir(exist_ok=True)
+    prof_path = OUT_DIR / "bench_sim_core_10k.prof"
+    profiler.dump_stats(prof_path)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    with open(OUT_DIR / "bench_sim_core_10k_profile.txt", "w") as fh:
+        stats.stream = fh
+        fh.write(
+            f"cProfile, incremental 10k-job run "
+            f"(events={result.events_processed}, "
+            f"passes={result.schedule_passes}, "
+            f"skipped={result.passes_skipped})\n"
+        )
+        stats.print_stats(30)
+    emit(
+        "bench_sim_core_profile",
+        f"cProfile written to {prof_path} "
+        f"({result.events_processed} events, "
+        f"{result.schedule_passes} passes, "
+        f"{result.passes_skipped} skipped)",
+    )

@@ -64,6 +64,7 @@ from repro.campaign.report import (
     DEFAULT_GROUP_BY,
     DEFAULT_METRICS,
     METRIC_DIRECTIONS,
+    THROUGHPUT_METRICS,
     DiffRow,
     DiffTable,
     ErrorEntry,
@@ -130,6 +131,7 @@ __all__ = [
     "DEFAULT_GROUP_BY",
     "DEFAULT_METRICS",
     "METRIC_DIRECTIONS",
+    "THROUGHPUT_METRICS",
     "DiffRow",
     "DiffTable",
     "ErrorEntry",

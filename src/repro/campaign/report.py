@@ -63,9 +63,23 @@ METRIC_DIRECTIONS: Dict[str, int] = {
     "checkpoint_frac": -1,
     "reserved_idle_frac": -1,
     "decision_latency_p50_s": -1,
+    "decision_latency_p95_s": -1,
     "decision_latency_max_s": -1,
     "makespan_h": -1,
+    "wall_time_s": -1,
+    "events_processed": 0,
+    "schedule_passes": 0,
+    "passes_skipped": 0,
 }
+
+#: simulator-throughput columns, for charting core performance across a
+#: grid axis (``campaign report --html --metrics ... --x load``)
+THROUGHPUT_METRICS: Tuple[str, ...] = (
+    "wall_time_s",
+    "events_processed",
+    "schedule_passes",
+    "passes_skipped",
+)
 
 #: relative change below which a diff row is classified as noise
 #: rather than a regression/improvement

@@ -75,6 +75,8 @@ class SimulatorOps(Protocol):
 
     def lookup_job(self, job_id: int) -> Job: ...
 
+    def mark_sched_dirty(self) -> None: ...
+
 
 class HybridCoordinator:
     """Implements one mechanism's behaviour on top of a simulator."""
@@ -125,6 +127,8 @@ class HybridCoordinator:
         if self.mechanism.notice is NoticeStrategy.COLLECT_UNTIL_PREDICTED:
             self._plan_cup(res, job)
         self.ops.push_reservation_timeout(res.expiry_time, job.job_id)
+        # the new reservation changed the usable-free pool / loanable set
+        self.ops.mark_sched_dirty()
 
     def _plan_cup(self, res: Reservation, job: Job) -> None:
         """CUP: earmark expected releases, plan preemptions for the rest.
@@ -428,6 +432,8 @@ class HybridCoordinator:
             return
         self.book.deactivate(od_job_id)
         self.absorb_free()
+        # held nodes melted back into (or moved within) the free pool
+        self.ops.mark_sched_dirty()
 
     # ------------------------------------------------------------------
     # Completion (§III-B.3)

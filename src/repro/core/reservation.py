@@ -104,6 +104,16 @@ class ReservationBook:
             key=lambda r: (r.notice_time, r.od_job_id),
         )
 
+    def holding_reservations(self) -> List[Reservation]:
+        """Active reservations currently holding nodes (unsorted).
+
+        Used by the simulator's pass skipping to spot *clock-tracking*
+        pseudo-blocks (see ``Simulation._has_clock_tracking_block``);
+        unlike :meth:`active_reservations` it does not sort, because
+        that check runs on every potentially-skippable batch.
+        """
+        return [r for r in self._by_od.values() if r.active and r.held > 0]
+
     def create(
         self,
         od_job_id: int,

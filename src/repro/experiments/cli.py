@@ -335,7 +335,9 @@ def make_campaign_parser() -> argparse.ArgumentParser:
         help="config fields to group rows by (default: notice_mix mechanism)",
     )
     report_p.add_argument(
-        "--metrics", nargs="*", default=None, help="summary fields to show"
+        "--metrics", nargs="*", default=None,
+        help="summary fields to show ('throughput' expands to the "
+        "simulator wall-time/events/passes columns)",
     )
     report_p.add_argument(
         "--diff",
@@ -437,6 +439,7 @@ def campaign_main(argv: List[str]) -> int:
     from repro.campaign import (
         DEFAULT_GROUP_BY,
         DEFAULT_METRICS,
+        THROUGHPUT_METRICS,
         diff_text,
         load_campaign,
         report_text,
@@ -554,6 +557,13 @@ def campaign_main(argv: List[str]) -> int:
         spec_dict, records = load_campaign(args.directory)
         by = tuple(args.by) if args.by else DEFAULT_GROUP_BY
         metrics = tuple(args.metrics) if args.metrics else DEFAULT_METRICS
+        # 'throughput' expands to the simulator-performance columns
+        # (wall time, events, executed/skipped scheduling passes)
+        metrics = tuple(
+            m2
+            for m in metrics
+            for m2 in (THROUGHPUT_METRICS if m == "throughput" else (m,))
+        )
         other = None
         if args.diff:
             _, other = load_campaign(args.diff)

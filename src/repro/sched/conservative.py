@@ -7,100 +7,28 @@ ahead if it delays none of the reservations made before it.  The paper
 evaluates EASY only; this planner exists for the ablation suite, and as
 the natural "stricter fairness" point of comparison for the mechanisms.
 
-Implementation: a step-function *availability profile* over future time,
-built from the predicted releases of running jobs.  Jobs are inserted in
-queue order at the earliest feasible start; a job whose reserved start is
-*now* actually starts.  Malleable jobs are reserved at their maximum size
-(choosing per-reservation sizes would make the profile search quadratic
-in sizes for marginal benefit); reserved-idle loans are an EASY-specific
-device and are not used here.
+Implementation: a step-function *availability profile* over future time
+(:class:`repro.sched.profile.AvailabilityProfile`), materialised from the
+scheduling instant's :class:`~repro.sched.profile.ProfileView` — in
+incremental mode that is a sort-free copy of the shared availability
+timeline.  Jobs are inserted in queue order at the earliest feasible
+start; a job whose reserved start is *now* actually starts.  Malleable
+jobs are reserved at their maximum size (choosing per-reservation sizes
+would make the profile search quadratic in sizes for marginal benefit);
+reserved-idle loans are an EASY-specific device and are not used here.
 """
 
 from __future__ import annotations
 
-import math
 from typing import List, Sequence, Tuple
 
 from repro.jobs.job import Job
 from repro.sched.easy import StartDecision, WallPredictor
+from repro.sched.profile import AvailabilityProfile, ProfileView
+
+__all__ = ["AvailabilityProfile", "ConservativeBackfillPlanner"]
 
 EPS = 1e-6
-
-
-class AvailabilityProfile:
-    """Free-node step function over [now, inf).
-
-    Kept as parallel lists ``times`` / ``avail`` where ``avail[i]`` holds
-    on ``[times[i], times[i+1])``; the last segment extends to infinity.
-    """
-
-    def __init__(self, now: float, free: int, releases: Sequence[Tuple[float, int]]):
-        points = {}
-        for t, nodes in releases:
-            key = max(t, now)
-            points[key] = points.get(key, 0) + nodes
-        self.times: List[float] = [now]
-        self.avail: List[int] = [free]
-        level = free
-        for t in sorted(points):
-            if t <= now + EPS:
-                # already released (defensive; callers pass future ends)
-                self.avail[0] += points[t]
-                level = self.avail[0]
-                continue
-            level += points[t]
-            self.times.append(t)
-            self.avail.append(level)
-
-    def earliest_start(self, nodes: int, duration: float) -> float:
-        """Earliest time *nodes* nodes stay free for *duration* seconds."""
-        i = 0
-        while i < len(self.times):
-            if self.avail[i] < nodes:
-                i += 1
-                continue
-            start = self.times[i]
-            end = start + duration
-            # check the window [start, end) stays above `nodes`
-            j = i + 1
-            ok = True
-            while j < len(self.times) and self.times[j] < end - EPS:
-                if self.avail[j] < nodes:
-                    ok = False
-                    break
-                j += 1
-            if ok:
-                return start
-            i = j  # first violation: no point retrying inside the window
-        raise AssertionError(
-            "unreachable: the final profile segment extends to infinity"
-        )
-
-    def reserve(self, start: float, duration: float, nodes: int) -> None:
-        """Subtract *nodes* over [start, start+duration)."""
-        end = start + duration
-        self._insert_breakpoint(start)
-        self._insert_breakpoint(end)
-        for i, t in enumerate(self.times):
-            if start - EPS <= t < end - EPS:
-                self.avail[i] -= nodes
-                if self.avail[i] < 0:
-                    raise AssertionError(
-                        f"profile went negative at t={t}: {self.avail[i]}"
-                    )
-
-    def _insert_breakpoint(self, t: float) -> None:
-        if t <= self.times[0] + EPS:
-            return
-        for i, existing in enumerate(self.times):
-            if abs(existing - t) <= EPS:
-                return
-            if existing > t:
-                self.times.insert(i, t)
-                self.avail.insert(i, self.avail[i - 1])
-                return
-        self.times.append(t)
-        self.avail.append(self.avail[-1])
 
 
 class ConservativeBackfillPlanner:
@@ -116,21 +44,20 @@ class ConservativeBackfillPlanner:
 
     def plan(
         self,
-        now: float,
+        profile: ProfileView,
         ordered_queue: Sequence[Job],
-        free: int,
         loanable: Sequence[Tuple[int, int]],
-        running_blocks: Sequence[Tuple[float, int]],
         predict_wall: WallPredictor,
     ) -> List[StartDecision]:
-        profile = AvailabilityProfile(now, free, running_blocks)
+        now = profile.now
+        working = profile.build_profile()
         decisions: List[StartDecision] = []
         blocked_seen = False
         for job in ordered_queue:
             nodes = job.size
             wall = predict_wall(job, nodes)
-            start = profile.earliest_start(nodes, wall)
-            profile.reserve(start, wall, nodes)
+            start = working.earliest_start(nodes, wall)
+            working.reserve(start, wall, nodes)
             if start <= now + EPS:
                 decisions.append(
                     StartDecision(

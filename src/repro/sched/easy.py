@@ -24,11 +24,18 @@ Two paper-specific twists:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.jobs.job import Job
+from repro.sched.profile import ProfileView, ShadowInfo
+
+__all__ = [
+    "BackfillPlanner",
+    "ShadowInfo",
+    "StartDecision",
+    "WallPredictor",
+]
 
 EPS = 1e-6
 
@@ -51,14 +58,6 @@ class StartDecision:
     free_used: int
     loans: Dict[int, int] = field(default_factory=dict)
     backfilled: bool = False
-
-
-@dataclass(frozen=True)
-class ShadowInfo:
-    """The head job's EASY reservation: when it can start, and the slack."""
-
-    time: float
-    extra_nodes: int
 
 
 class BackfillPlanner:
@@ -93,27 +92,27 @@ class BackfillPlanner:
     # ------------------------------------------------------------------
     def plan(
         self,
-        now: float,
+        profile: ProfileView,
         ordered_queue: Sequence[Job],
-        free: int,
         loanable: Sequence[Tuple[int, int]],
-        running_blocks: Sequence[Tuple[float, int]],
         predict_wall: WallPredictor,
     ) -> List[StartDecision]:
         """Choose the set of jobs to start at this instant.
 
         Parameters
         ----------
-        free:
-            Genuinely free nodes (cluster free minus all reserved holdings).
+        profile:
+            The scheduling instant's availability: ``profile.free`` is
+            the genuinely free pool (cluster free minus all reserved
+            holdings) and ``profile.shadow`` answers the head's earliest
+            fit from running jobs' predicted releases and reservation
+            pseudo-blocks.
         loanable:
             ``(reservation_id, held_nodes)`` for active not-yet-arrived
             reservations, in loan-priority order.
-        running_blocks:
-            ``(predicted_release_time, nodes)`` for every running job *and*
-            a pseudo-block per reservation (released when the on-demand job
-            is predicted to finish).  Only used for the shadow computation.
         """
+        now = profile.now
+        free = profile.free
         decisions: List[StartDecision] = []
         queue = list(ordered_queue)
         loan_pool: List[List[int]] = [[rid, held] for rid, held in loanable]
@@ -134,9 +133,10 @@ class BackfillPlanner:
         if head_idx >= len(queue) or not self.backfill_enabled:
             return decisions
 
-        # Phase 2 — shadow reservation for the blocked head.
+        # Phase 2 — shadow reservation for the blocked head (a profile
+        # query; phase 1 consumed free nodes, so pass the reduced pool).
         head = queue[head_idx]
-        shadow = self._shadow(now, self._min_size(head), free, running_blocks)
+        shadow = profile.shadow(self._min_size(head), free=free)
 
         # Phase 3 — backfill the remaining queue.
         extra = shadow.extra_nodes
@@ -171,30 +171,6 @@ class BackfillPlanner:
         return decisions
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _shadow(
-        now: float,
-        head_need: int,
-        free: int,
-        running_blocks: Sequence[Tuple[float, int]],
-    ) -> ShadowInfo:
-        """Earliest time *head_need* nodes are free, plus the slack then.
-
-        Walks the predicted releases in time order accumulating freed
-        nodes until the head fits.  If even all releases cannot satisfy the
-        head (only possible when reservations pseudo-block nodes forever),
-        the shadow is infinite and every backfill qualifies via the
-        extra-node branch only.
-        """
-        if head_need <= free:
-            return ShadowInfo(time=now, extra_nodes=free - head_need)
-        avail = free
-        for release, nodes in sorted(running_blocks):
-            avail += nodes
-            if avail >= head_need:
-                return ShadowInfo(time=max(release, now), extra_nodes=avail - head_need)
-        return ShadowInfo(time=math.inf, extra_nodes=avail - head_need)
-
     @staticmethod
     def _loans_available(loan_pool: Sequence[Sequence[int]]) -> bool:
         return any(held > 0 for _, held in loan_pool)

@@ -23,6 +23,13 @@ class SchedulingPolicy(abc.ABC):
     #: short identifier used in reports
     name: str = "abstract"
 
+    #: True when :meth:`key` ignores ``now`` — i.e. the queue order can
+    #: only change when the queue itself changes.  The simulator's
+    #: incremental pass skipping relies on this: a pass may be skipped
+    #: after a no-op event batch only if mere passage of time cannot
+    #: reorder the queue.  Set False in any aging/time-decay policy.
+    time_invariant: bool = True
+
     @abc.abstractmethod
     def key(self, job: Job, now: float) -> Tuple:
         """Sort key for *job* (ascending).  Lower sorts earlier."""

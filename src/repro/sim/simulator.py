@@ -13,6 +13,16 @@ start, preemption, shrink, expansion — funnels through the methods of this
 class so node accounting and per-job statistics stay consistent; the
 :class:`~repro.core.coordinator.HybridCoordinator` drives those methods
 through the ``SimulatorOps`` surface.
+
+The mutation funnel also maintains the **incremental scheduling state**:
+a shared :class:`~repro.sched.profile.AvailabilityTimeline` of running
+jobs' predicted releases (updated in place instead of re-derived inside
+every planner call) and a dirty bit that lets :meth:`_schedule_pass`
+short-circuit batches that provably cannot change any decision — an
+event batch made entirely of stale events, or any batch with an empty
+wait queue.  ``SimConfig.force_full_replan`` restores the seed
+behaviour (full per-pass rebuild, no skipping); decisions and metrics
+are identical in both modes.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from repro.sched.conservative import ConservativeBackfillPlanner
 from repro.sched.easy import BackfillPlanner
 from repro.sched.fcfs import FcfsPolicy
 from repro.sched.policy import SchedulingPolicy
+from repro.sched.profile import AvailabilityTimeline, ProfileView
 from repro.sim.cluster import Cluster
 from repro.sim.config import SimConfig
 from repro.sim.engine import EventQueue
@@ -66,6 +77,39 @@ class RunningJob:
         return None
 
 
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample stream (count / p50 / p95 / max).
+
+    Stored instead of the raw sample list: a 10k-job campaign cell used
+    to drag tens of thousands of floats through every result record for
+    two percentiles nobody recomputed.
+    """
+
+    count: int = 0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls()
+        ordered = sorted(samples)
+
+        def pct(p: float) -> float:
+            return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
+        return cls(
+            count=len(ordered),
+            p50_s=pct(0.50),
+            p95_s=pct(0.95),
+            p99_s=pct(0.99),
+            max_s=ordered[-1],
+        )
+
+
 @dataclass
 class SimulationResult:
     """Everything a run produced; summarised by :mod:`repro.metrics`."""
@@ -79,9 +123,10 @@ class SimulationResult:
     last_end: float
     reserved_idle_node_seconds: float
     free_node_seconds: float
-    decision_latencies: List[float] = field(default_factory=list)
+    decision_latency: LatencyStats = field(default_factory=LatencyStats)
     events_processed: int = 0
     schedule_passes: int = 0
+    passes_skipped: int = 0
     wall_time_s: float = 0.0
     lease_resumes: int = 0
     lease_expands: int = 0
@@ -147,6 +192,16 @@ class Simulation:
         self._epochs: Dict[int, int] = {}
         self._events_processed = 0
         self._schedule_passes = 0
+        self._passes_skipped = 0
+        #: incrementally maintained (release, nodes) blocks per running
+        #: job; not maintained under force_full_replan, where every pass
+        #: rebuilds its availability view from scratch instead
+        self.timeline = AvailabilityTimeline()
+        self._track_timeline = not self.config.force_full_replan
+        #: True when something planning-relevant (queue, free pool,
+        #: reservations, predicted releases) changed since the last
+        #: executed scheduling pass
+        self._sched_dirty = True
         self._failure_rng = RngStreams(self.config.failure_seed).get("failures")
         self._failures_injected = 0
         self.log = SchedulerLog(enabled=self.config.log_decisions)
@@ -214,6 +269,15 @@ class Simulation:
         if math.isfinite(fire):
             self.equeue.push(max(fire, self.now), EventType.RESERVATION_TIMEOUT, od_id=od_id)
 
+    def mark_sched_dirty(self) -> None:
+        """Note a planning-relevant state change made outside the funnel.
+
+        The coordinator calls this when it mutates reservation state
+        directly (notice-time reservations, timeout releases); every
+        funnel method on this class marks itself.
+        """
+        self._sched_dirty = True
+
     # ------------------------------------------------------------------
     # Job lifecycle operations
     # ------------------------------------------------------------------
@@ -269,6 +333,9 @@ class Simulation:
         self._epochs[job.job_id] = epoch
         rj = RunningJob(job=job, execution=ex, nodes=nodes, epoch=epoch, started_at=t)
         self.running[job.job_id] = rj
+        self._sched_dirty = True
+        if self._track_timeline:
+            self.timeline.set_block(job.job_id, rj.predicted_finish(), nodes)
         job.set_state(JobState.RUNNING)
         if job.stats.first_start is None:
             job.stats.first_start = t
@@ -311,6 +378,9 @@ class Simulation:
         rj = self.running.pop(job_id, None)
         if rj is None:
             raise SimulationError(f"preempt of non-running job {job_id}")
+        self._sched_dirty = True
+        if self._track_timeline:
+            self.timeline.remove_block(job_id)
         job = rj.job
         acc = rj.execution.preempt(self.now)
         self._record_segment(rj, rj.started_at, self.now, acc.allocated)
@@ -369,6 +439,11 @@ class Simulation:
     def _reschedule_finish(self, rj: RunningJob) -> None:
         rj.epoch += 1
         self._epochs[rj.job.job_id] = rj.epoch
+        self._sched_dirty = True
+        if self._track_timeline:
+            self.timeline.set_block(
+                rj.job.job_id, rj.predicted_finish(), rj.nodes
+            )
         self.equeue.push(
             rj.execution.finish_time(),
             EventType.JOB_FINISH,
@@ -406,6 +481,7 @@ class Simulation:
         job = self.jobs_by_id[job_id]
         job.set_state(JobState.QUEUED)
         self.queue.append(job)
+        self._sched_dirty = True
         self.log.add(self.now, LogKind.SUBMIT, job_id, nodes=job.size)
         if job.is_ondemand:
             self.coordinator.on_od_arrival(job)
@@ -426,6 +502,9 @@ class Simulation:
         rj = self.running.get(job_id)
         if rj is None or rj.epoch != epoch:
             return  # stale event from before a resize/preemption
+        self._sched_dirty = True
+        if self._track_timeline:
+            self.timeline.remove_block(job_id)
         job = rj.job
         acc = rj.execution.complete(self.now)
         self._record_segment(rj, rj.started_at, self.now, acc.allocated)
@@ -513,8 +592,100 @@ class Simulation:
         )
         return tl.wall_for_work(est_total)
 
+    def _reservation_blocks(self) -> List:
+        """Reservation pseudo-blocks: held nodes release when the owning
+        on-demand job is predicted to finish.  Recomputed per pass (the
+        release time of an *arrived* reservation tracks ``now``); active
+        reservations are few, so this overlay stays cheap."""
+        blocks = []
+        for r in self.coordinator.book.active_reservations():
+            if r.held <= 0:
+                continue
+            od = self.jobs_by_id[r.od_job_id]
+            release = (
+                self.now + od.estimate
+                if r.arrived
+                else r.estimated_arrival + od.estimate
+            )
+            blocks.append((max(release, self.now), r.held))
+        return blocks
+
+    def _availability_view(self, usable: int) -> ProfileView:
+        """This instant's planner-facing availability profile."""
+        overlay = self._reservation_blocks()
+        if not self._track_timeline:
+            # seed behaviour: re-derive every block from the running set
+            blocks = [
+                (rj.predicted_finish(), rj.nodes)
+                for rj in self.running.values()
+            ]
+            blocks.extend(overlay)
+            return ProfileView.from_blocks(self.now, usable, blocks)
+        return ProfileView(
+            self.now, usable, timeline=self.timeline, overlay=overlay
+        )
+
+    def _has_clock_tracking_block(self) -> bool:
+        """Does any reservation pseudo-block's release move with ``now``?
+
+        Running jobs' predicted finishes are fixed between funnel
+        mutations, but a reservation's pseudo-block releases at
+        ``max(release, now)`` where ``release`` is ``now + estimate``
+        for an *arrived* reservation (always clock-tracking) or
+        ``estimated_arrival + estimate`` for a pending one — which also
+        starts tracking the clock once that instant is overdue (the
+        ``max`` clamps it to ``now``; reachable for LATE-notice jobs
+        with short estimates inside the grace window).  Such a block
+        can reorder against fixed blocks as time passes, voiding the
+        stale-batch skip's time-invariance argument.
+        """
+        for r in self.coordinator.book.holding_reservations():
+            if r.arrived:
+                return True
+            od = self.jobs_by_id[r.od_job_id]
+            if r.estimated_arrival + od.estimate <= self.now + EPS:
+                return True
+        return False
+
+    def _can_skip_pass(self) -> bool:
+        """Is this pass provably a no-op?
+
+        Two cases, both exact (never heuristic — skipping must not be
+        able to change a single decision):
+
+        * **Empty queue.**  There is nothing to order, nothing to start,
+          and no waiting on-demand job for the pre-phase (those sit in
+          the queue too).
+        * **Nothing changed.**  No funnel mutation, queue change, or
+          reservation change happened since the last executed pass —
+          the event batch was entirely stale events — so the planner
+          would see byte-identical inputs except ``now``.  With a
+          time-invariant policy the queue order is unchanged, and as
+          ``now`` advances against releases fixed in time, backfill
+          windows only shrink and extra-node budgets cannot change, so
+          a plan that started nothing then starts nothing now.  That
+          argument requires every block's release to actually be fixed
+          — a clock-tracking reservation pseudo-block (it can reorder
+          against fixed blocks and grow the extra-node budget) refuses
+          this skip (:meth:`_has_clock_tracking_block`).
+        """
+        if not self.queue:
+            # any pending dirtiness is consumed: a no-op pass over an
+            # empty queue re-establishes the clean fixpoint
+            self._sched_dirty = False
+            return True
+        return (
+            not self._sched_dirty
+            and self.policy.time_invariant
+            and not self._has_clock_tracking_block()
+        )
+
     def _schedule_pass(self) -> None:
+        if not self.config.force_full_replan and self._can_skip_pass():
+            self._passes_skipped += 1
+            return
         self._schedule_passes += 1
+        self._sched_dirty = False
         book = self.coordinator.book
         # Pre-phase: waiting on-demand jobs assemble nodes via their
         # (still-collecting) reservations, earliest arrival first.
@@ -538,25 +709,10 @@ class Simulation:
         ordered = self.policy.order(
             self.queue, self.now, prioritize_ondemand=self.mechanism is not None
         )
-        blocks = [
-            (rj.predicted_finish(), rj.nodes) for rj in self.running.values()
-        ]
-        for r in book.active_reservations():
-            if r.held <= 0:
-                continue
-            od = self.jobs_by_id[r.od_job_id]
-            release = (
-                self.now + od.estimate
-                if r.arrived
-                else r.estimated_arrival + od.estimate
-            )
-            blocks.append((max(release, self.now), r.held))
         decisions = self.planner.plan(
-            now=self.now,
+            profile=self._availability_view(usable),
             ordered_queue=ordered,
-            free=usable,
             loanable=loanable,
-            running_blocks=blocks,
             predict_wall=self._predict_wall,
         )
         for d in decisions:
@@ -587,6 +743,13 @@ class Simulation:
             raise SimulationError(
                 f"reservations hold {self.coordinator.book.total_held} nodes "
                 f"but only {self.cluster.free} are free"
+            )
+        if self._track_timeline:
+            self.timeline.validate_against(
+                {
+                    job_id: (rj.predicted_finish(), rj.nodes)
+                    for job_id, rj in self.running.items()
+                }
             )
 
     # ------------------------------------------------------------------
@@ -653,9 +816,12 @@ class Simulation:
             last_end=last_end,
             reserved_idle_node_seconds=self.coordinator.book.held_node_seconds,
             free_node_seconds=self.cluster.free_node_seconds,
-            decision_latencies=list(self.coordinator.decision_latencies),
+            decision_latency=LatencyStats.from_samples(
+                self.coordinator.decision_latencies
+            ),
             events_processed=self._events_processed,
             schedule_passes=self._schedule_passes,
+            passes_skipped=self._passes_skipped,
             wall_time_s=_time.perf_counter() - t0,
             lease_resumes=self.coordinator.lease_resumes,
             lease_expands=self.coordinator.lease_expands,

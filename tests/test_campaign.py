@@ -170,7 +170,11 @@ class TestExecutor:
         parallel = run_campaign(spec, directory=tmp_path / "p", workers=2)
         for r_s, r_p in zip(serial.records, parallel.records):
             assert r_s.key == r_p.key
-            assert r_s.summary == r_p.summary
+            from repro.metrics.summary import deterministic_view
+
+            assert deterministic_view(dict(r_s.summary)) == (
+                deterministic_view(dict(r_p.summary))
+            )
 
     def test_failed_cell_does_not_kill_campaign(self, tmp_path):
         # min_size > system_size passes spec validation only at

@@ -8,6 +8,7 @@ from repro.sched.conservative import (
     AvailabilityProfile,
     ConservativeBackfillPlanner,
 )
+from repro.sched.profile import ProfileView
 from repro.sim.config import SimConfig
 from repro.sim.simulator import Simulation
 from repro.util.errors import ConfigurationError
@@ -66,11 +67,9 @@ class TestPlanner:
     def plan(self, queue, free, blocks=()):
         planner = ConservativeBackfillPlanner()
         return planner.plan(
-            now=0.0,
+            profile=ProfileView.from_blocks(0.0, free, list(blocks)),
             ordered_queue=queue,
-            free=free,
             loanable=[],
-            running_blocks=list(blocks),
             predict_wall=flat_wall,
         )
 

@@ -106,6 +106,9 @@ class StubOps:
     def push_reservation_timeout(self, fire, od_id):
         self.timeouts.append((fire, od_id))
 
+    def mark_sched_dirty(self):
+        pass
+
 
 def od_job(job_id=100, size=50, submit=3000.0, notice=1500.0, estimated=3000.0):
     job = Job(

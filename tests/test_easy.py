@@ -6,6 +6,7 @@ import pytest
 
 from repro.jobs.job import Job, JobType
 from repro.sched.easy import BackfillPlanner
+from repro.sched.profile import ProfileView
 
 
 def rigid(job_id, size, estimate=1000.0, submit=0.0):
@@ -41,11 +42,9 @@ def flat_wall(job, nodes):
 def plan(queue, free, loanable=(), blocks=(), planner=None, now=0.0):
     planner = planner or BackfillPlanner()
     return planner.plan(
-        now=now,
+        profile=ProfileView.from_blocks(now, free, list(blocks)),
         ordered_queue=queue,
-        free=free,
         loanable=list(loanable),
-        running_blocks=list(blocks),
         predict_wall=flat_wall,
     )
 
@@ -198,24 +197,25 @@ class TestLoans:
 
 class TestShadowMath:
     def test_shadow_accumulates_releases(self):
-        info = BackfillPlanner._shadow(
-            now=0.0,
-            head_need=100,
-            free=20,
-            running_blocks=[(500.0, 30), (900.0, 60), (1500.0, 50)],
+        view = ProfileView.from_blocks(
+            0.0, 20, [(500.0, 30), (900.0, 60), (1500.0, 50)]
         )
+        info = view.shadow(100)
         assert info.time == 900.0
         assert info.extra_nodes == 10
 
     def test_shadow_infinite_when_unreachable(self):
-        info = BackfillPlanner._shadow(
-            now=0.0, head_need=100, free=20, running_blocks=[(500.0, 30)]
-        )
-        assert math.isinf(info.time)
+        view = ProfileView.from_blocks(0.0, 20, [(500.0, 30)])
+        assert math.isinf(view.shadow(100).time)
 
     def test_shadow_immediate(self):
-        info = BackfillPlanner._shadow(
-            now=7.0, head_need=10, free=50, running_blocks=[]
-        )
+        info = ProfileView.from_blocks(7.0, 50, []).shadow(10)
         assert info.time == 7.0
         assert info.extra_nodes == 40
+
+    def test_shadow_free_override_after_phase1(self):
+        """Phase 1 consumes free nodes; the shadow sees the reduced pool."""
+        view = ProfileView.from_blocks(0.0, 50, [(500.0, 80)])
+        info = view.shadow(100, free=20)
+        assert info.time == 500.0
+        assert info.extra_nodes == 0

@@ -398,13 +398,30 @@ class TestResultBookkeeping:
             ondemand(3, 6000.0, 20, 500.0),
         ]
         res = run(trace, Mechanism.parse("N&PAA"))
-        assert len(res.decision_latencies) == 2
-        assert all(lat < 0.01 for lat in res.decision_latencies)
+        assert res.decision_latency.count == 2
+        assert res.decision_latency.max_s < 0.01
+        assert res.decision_latency.p50_s <= res.decision_latency.p95_s
+        assert res.decision_latency.p95_s <= res.decision_latency.max_s
 
     def test_events_and_passes_counted(self):
         res = run([rigid(1, 0.0, 10, 100.0)])
         assert res.events_processed >= 2
         assert res.schedule_passes >= 1
+
+    def test_pass_skipping_accounted_and_off_under_full_replan(self):
+        trace = [rigid(i, i * 10.0, 10, 100.0) for i in range(5)]
+        from repro.workload.trace import clone_jobs
+
+        incremental = run(clone_jobs(trace))
+        full = run(clone_jobs(trace), config=cfg(force_full_replan=True))
+        assert full.passes_skipped == 0
+        # every batch runs a pass in full mode; incremental executes no
+        # more than that, and skipped + executed covers the same batches
+        assert incremental.schedule_passes <= full.schedule_passes
+        assert (
+            incremental.schedule_passes + incremental.passes_skipped
+            == full.schedule_passes
+        )
 
     def test_makespan_and_horizon(self):
         res = run([rigid(1, 5.0, 10, 100.0)])
