@@ -209,6 +209,99 @@ def test_conservative_planner_speedup(emit):  # noqa: F811
     )
 
 
+def test_obs_overhead(emit):  # noqa: F811
+    """Instrumentation overhead budget on the 10k-job scenario.
+
+    The :mod:`repro.obs` hooks are wired into the simulator permanently,
+    so the budget is asserted two ways:
+
+    * **disabled < 2%**: the per-hit cost of the shared no-op metric and
+      span objects is microbenchmarked, multiplied by the *actual* hook
+      hit counts of the 10k run (taken from an enabled run's own
+      counters — an overestimate, since bulk-flushed counters are
+      charged per event), and compared against the run's wall time;
+    * **enabled < 10%**: best-of-three wall clock with a live registry
+      + tracer vs best-of-three with the disabled default, interleaved
+      so machine drift lands on both modes equally.
+
+    Also exports the enabled run's trace + ``obs summary`` text to
+    ``benchmarks/out/`` — the CI ``obs-bench`` job uploads both.
+    """
+    from repro.obs import disable, enabled_obs, get_obs
+    from repro.obs.export import render_summary, trace_data, write_trace_data
+
+    jobs = synth_jobs(ASSERT_AT)
+    config = _config(False)
+
+    def run_once():
+        t0 = time.perf_counter()
+        Simulation(clone_jobs(jobs), config, None).run()
+        return time.perf_counter() - t0
+
+    run_once()  # warm caches so round 1 is comparable to round 3
+    # interleave D/E/D/E so machine drift hits both modes equally
+    disabled_times, enabled_times = [], []
+    doc = spans_started = None
+    for _round in range(3):
+        disable()
+        disabled_times.append(run_once())
+        with enabled_obs() as obs:
+            enabled_times.append(run_once())
+            spans_started = obs.tracer.n_started
+            doc = trace_data(obs, process_name="bench-sim-core-10k")
+    disabled_s = min(disabled_times)
+    enabled_s = min(enabled_times)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    write_trace_data(OUT_DIR / "bench_sim_core_10k.trace.json", doc)
+    (OUT_DIR / "bench_sim_core_10k_obs_summary.txt").write_text(
+        render_summary(doc) + "\n"
+    )
+
+    # null-hook microbenchmark: the only cost the disabled path pays
+    null_obs = get_obs()  # disable() above left the DISABLED bundle
+    assert not null_obs.enabled
+    n = 200_000
+    counter = null_obs.counter("bench.noop")
+    t0 = time.perf_counter()
+    for _ in range(n):
+        counter.inc()
+    per_inc_s = (time.perf_counter() - t0) / n
+    span = null_obs.span
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with span("bench.noop"):
+            pass
+    per_span_s = (time.perf_counter() - t0) / n
+
+    metrics = doc["otherData"]["metrics"]
+    counter_hits = sum(metrics["counters"].values())
+    hist_hits = sum(h["count"] for h in metrics["histograms"].values())
+    disabled_cost_s = (
+        (counter_hits + hist_hits) * per_inc_s + spans_started * per_span_s
+    )
+    disabled_frac = disabled_cost_s / disabled_s
+    enabled_frac = enabled_s / disabled_s - 1.0
+    emit(
+        "bench_sim_core_obs_overhead",
+        (
+            f"obs overhead, 10k jobs: disabled hooks "
+            f"{disabled_cost_s * 1e3:.1f}ms of {disabled_s:.2f}s "
+            f"({disabled_frac * 100:.2f}%, {counter_hits + hist_hits} "
+            f"metric hits + {spans_started} spans); enabled run "
+            f"{enabled_s:.2f}s ({enabled_frac * 100:+.1f}%)"
+        ),
+    )
+    assert disabled_frac < 0.02, (
+        f"disabled-path hook cost {disabled_frac * 100:.2f}% of the 10k "
+        "run (budget 2%)"
+    )
+    assert enabled_s <= disabled_s * 1.10, (
+        f"enabled instrumentation cost {enabled_frac * 100:.1f}% "
+        f"({enabled_s:.2f}s vs {disabled_s:.2f}s; budget 10%)"
+    )
+
+
 def test_profile_artifact(emit):  # noqa: F811
     """cProfile of the 10k-job incremental run (uploaded by CI)."""
     if os.environ.get("REPRO_BENCH_PROFILE", "1") == "0":

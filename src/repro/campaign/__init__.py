@@ -17,6 +17,9 @@ single run — the first-class object:
 * :mod:`repro.campaign.svg` / :mod:`repro.campaign.html` —
   zero-dependency inline-SVG chart primitives and the self-contained
   ``campaign report --html`` exporter built on the same models;
+* :mod:`repro.campaign.timeline` — the flame-style span-timeline SVG
+  panel for :mod:`repro.obs` trace documents (``report --html
+  --trace``);
 * :mod:`repro.campaign.progress` — :class:`ProgressIndex`, the
   incremental (byte-offset) completion index every scan goes through,
   and the ``campaign status --watch`` fleet dashboard;
@@ -81,6 +84,7 @@ from repro.campaign.report import (
     status_text,
 )
 from repro.campaign.svg import bar_chart, chart_css, line_chart
+from repro.campaign.timeline import timeline_summary_rows, trace_timeline_svg
 from repro.campaign.spec import CampaignCell, CampaignSpec, canonical_json
 from repro.campaign.store import (
     CellRecord,
@@ -147,4 +151,6 @@ __all__ = [
     "bar_chart",
     "chart_css",
     "line_chart",
+    "timeline_summary_rows",
+    "trace_timeline_svg",
 ]

@@ -31,6 +31,7 @@ from repro.campaign.store import ResultStore
 from repro.util.errors import ConfigurationError
 
 LOGS_DIR = "logs"
+TRACES_DIR = "traces"
 
 #: the worker CLI module; ``python -m`` keeps the invocation independent
 #: of whether the package was pip-installed (console script) or is on
@@ -39,9 +40,13 @@ WORKER_MODULE = "repro.experiments.cli"
 
 
 def _worker_args(
-    directory: str, shard: str, ttl_s: float, poll_s: float
+    directory: str,
+    shard: str,
+    ttl_s: float,
+    poll_s: float,
+    trace: bool = False,
 ) -> List[str]:
-    return [
+    args = [
         "campaign",
         "worker",
         "--dir",
@@ -53,6 +58,14 @@ def _worker_args(
         "--poll",
         str(poll_s),
     ]
+    if trace:
+        # per-worker trace under the campaign dir (a path every host of
+        # a shared-filesystem fleet can write); the launcher merges them
+        args += [
+            "--trace",
+            str(Path(directory) / TRACES_DIR / f"{shard}.trace.json"),
+        ]
+    return args
 
 
 @dataclass
@@ -90,6 +103,7 @@ class LocalSubprocessBackend:
         ttl_s: float,
         poll_s: float,
         shard_prefix: str = "local",
+        trace: bool = False,
     ) -> List[WorkerHandle]:
         env = dict(os.environ)
         # make `repro` importable in the child no matter how the parent
@@ -109,7 +123,7 @@ class LocalSubprocessBackend:
                 self.python,
                 "-m",
                 WORKER_MODULE,
-                *_worker_args(directory, shard, ttl_s, poll_s),
+                *_worker_args(directory, shard, ttl_s, poll_s, trace),
             ]
             log = (logs / f"{shard}.log").open("w", encoding="utf-8")
             proc = subprocess.Popen(
@@ -158,6 +172,7 @@ class SSHBackend:
         directory: str,
         ttl_s: float,
         poll_s: float,
+        trace: bool = False,
     ) -> List[str]:
         """The full ssh argv for one worker (exposed for testing)."""
         remote = self.remote_dir or str(directory)
@@ -165,7 +180,7 @@ class SSHBackend:
             self.python,
             "-m",
             WORKER_MODULE,
-            *_worker_args(remote, shard, ttl_s, poll_s),
+            *_worker_args(remote, shard, ttl_s, poll_s, trace),
         ]
         if self.pythonpath:
             worker = ["env", f"PYTHONPATH={self.pythonpath}", *worker]
@@ -177,6 +192,7 @@ class SSHBackend:
         ttl_s: float,
         poll_s: float,
         shard_prefix: str = "ssh",
+        trace: bool = False,
     ) -> List[WorkerHandle]:
         logs = Path(directory) / LOGS_DIR
         logs.mkdir(parents=True, exist_ok=True)
@@ -185,7 +201,7 @@ class SSHBackend:
             # hostname in the shard name: which machine produced which
             # records survives into the shards/ listing
             shard = f"{shard_prefix}-{host}-{i}"
-            cmd = self.command(host, shard, directory, ttl_s, poll_s)
+            cmd = self.command(host, shard, directory, ttl_s, poll_s, trace)
             log = (logs / f"{shard}.log").open("w", encoding="utf-8")
             proc = subprocess.Popen(
                 cmd, stdout=log, stderr=subprocess.STDOUT
@@ -225,6 +241,7 @@ def run_fleet(
     poll_s: float = 1.0,
     allow_spec_update: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> FleetResult:
     """Execute a campaign with a worker fleet: spec → launch → wait →
     merge → collect.
@@ -266,7 +283,16 @@ def run_fleet(
         f"({plan.n_cached} cached, {len(plan.todo)} to run) via "
         f"{backend.name} backend"
     )
-    handles = backend.launch(str(directory), ttl_s=ttl_s, poll_s=poll_s)
+    if trace:
+        # keyword only when asked for: custom test backends without the
+        # trace parameter keep working for untraced fleets
+        handles = backend.launch(
+            str(directory), ttl_s=ttl_s, poll_s=poll_s, trace=True
+        )
+    else:
+        handles = backend.launch(
+            str(directory), ttl_s=ttl_s, poll_s=poll_s
+        )
     for handle in handles:
         say(f"  launched {handle.shard}: {handle.description}")
     exit_codes = {h.shard: h.wait() for h in handles}

@@ -39,6 +39,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional
 
+from repro.obs import get_obs
+
 LEASES_DIR = "leases"
 
 #: sentinel distinguishing "file exists but is unparsable" (a contender
@@ -109,6 +111,11 @@ class LeaseBoard:
         self.owner = owner or default_owner()
         self.ttl_s = float(ttl_s)
         self.clock = clock
+        obs = get_obs()
+        self._c_acquired = obs.counter("distrib.lease.acquired")
+        self._c_renewals = obs.counter("distrib.lease.renewals")
+        self._c_lost = obs.counter("distrib.lease.lost")
+        self._c_stale_evicted = obs.counter("distrib.lease.stale_evicted")
 
     def path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -144,9 +151,15 @@ class LeaseBoard:
                 return False
             if current is None:
                 # released between our create attempt and read: re-race
-                return self._try_create(path, key)
-            self._evict(path)
-            return self._try_create(path, key)
+                won = self._try_create(path, key)
+            else:
+                self._evict(path)
+                self._c_stale_evicted.inc()
+                won = self._try_create(path, key)
+            if won:
+                self._c_acquired.inc()
+            return won
+        self._c_acquired.inc()
         return True
 
     def _try_create(self, path: Path, key: str) -> bool:
@@ -220,6 +233,7 @@ class LeaseBoard:
         path = self.path(key)
         current = self._read(path)
         if not isinstance(current, Lease) or current.owner != self.owner:
+            self._c_lost.inc()
             return False
         refreshed = Lease(
             key=current.key,
@@ -237,7 +251,9 @@ class LeaseBoard:
         except FileNotFoundError:
             # temp swept from under us: report the lease as lost — the
             # worker keeps computing and the merge dedupes if needed
+            self._c_lost.inc()
             return False
+        self._c_renewals.inc()
         return True
 
     def release(self, key: str) -> bool:

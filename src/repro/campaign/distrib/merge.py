@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.campaign.distrib.lease import LeaseBoard
 from repro.campaign.progress import ProgressIndex
 from repro.campaign.store import SHARDS_DIR, CellRecord
+from repro.obs import get_obs
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,24 @@ def merge_shards(
     ``campaign merge`` invocations stay incremental too.
     """
     say = progress or (lambda _msg: None)
+    obs = get_obs()
+    with obs.span("distrib.merge.pass"):
+        stats = _merge_shards_inner(directory, prune_leases, index)
+    obs.counter("distrib.merge.records.new").inc(stats.n_new)
+    obs.counter("distrib.merge.records.duplicate").inc(stats.n_duplicate)
+    say(
+        f"merged {stats.n_shards} shards: {stats.n_new} new, "
+        f"{stats.n_upgraded} upgraded, {stats.n_duplicate} duplicate, "
+        f"{stats.n_leases_pruned} leases pruned"
+    )
+    return stats
+
+
+def _merge_shards_inner(
+    directory: str,
+    prune_leases: bool,
+    index: Optional[ProgressIndex],
+) -> MergeStats:
     directory_p = Path(directory)
     idx = (
         index
@@ -153,7 +172,7 @@ def merge_shards(
     if prune_leases:
         board = LeaseBoard(directory_p)
         n_pruned = board.prune(merged or {})
-    stats = MergeStats(
+    return MergeStats(
         n_shards=len(idx.shard_states()),
         n_shard_records=n_shard_records,
         n_new=n_new,
@@ -161,9 +180,3 @@ def merge_shards(
         n_duplicate=n_duplicate,
         n_leases_pruned=n_pruned,
     )
-    say(
-        f"merged {stats.n_shards} shards: {stats.n_new} new, "
-        f"{stats.n_upgraded} upgraded, {stats.n_duplicate} duplicate, "
-        f"{stats.n_leases_pruned} leases pruned"
-    )
-    return stats

@@ -35,6 +35,7 @@ from typing import Callable, Optional, Set
 
 from repro.campaign.distrib.lease import LeaseBoard
 from repro.campaign.progress import ProgressIndex
+from repro.obs import get_obs
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import (
     SHARDS_DIR,
@@ -142,6 +143,8 @@ def run_worker(
     index = ProgressIndex(directory_p)
     board = LeaseBoard(directory_p, owner=owner, ttl_s=ttl_s, clock=clock)
     hb_interval = heartbeat_interval_s or max(ttl_s / 4.0, 0.05)
+    obs = get_obs()
+    c_evictions = obs.counter("distrib.lease.evictions")
 
     n_executed = n_failed = n_passes = 0
     say(
@@ -180,13 +183,26 @@ def run_worker(
                 daemon=True,
             )
             beater.start()
+            record = None
             try:
-                record = execute_cell(cell.config())
+                with obs.span("distrib.cell", key=key, shard=shard):
+                    record = execute_cell(cell.config())
+                with obs.span("distrib.shard.append", key=key):
+                    shard_store.put(record)
             finally:
+                # The record append and the release both live in this
+                # finally: a worker that raises mid-cell (disk full on
+                # the shard append, a pathological config) must still
+                # drop its lease, or the cell stays locked for a full
+                # TTL and every peer stalls on it.  The happens-before
+                # contract holds: the put above (when reached) precedes
+                # the release.
                 stop.set()
                 beater.join()
-            shard_store.put(record)
-            board.release(key)
+                if not board.release(key):
+                    # the lease was evicted out from under us mid-cell
+                    # (heartbeat stall past the TTL)
+                    c_evictions.inc()
             n_executed += 1
             if not record.ok:
                 n_failed += 1

@@ -19,17 +19,19 @@ contract:
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import CellRecord, ResultStore
 from repro.experiments.runner import run_one
+from repro.obs import enabled_obs, get_obs
 from repro.workload.ondemand import burstiness_cv, ondemand_jobs_per_week
 from repro.workload.spec import WorkloadSpec
 from repro.workload.theta import generate_trace
@@ -84,30 +86,43 @@ def _trace_payload(cell: CampaignCell) -> Dict[str, object]:
     }
 
 
-def execute_cell(config: Mapping[str, object]) -> CellRecord:
+def execute_cell(
+    config: Mapping[str, object], log_dir: Optional[str] = None
+) -> CellRecord:
     """Run one cell from its canonical config; never raises.
 
     Takes the plain config dict (not the dataclass) so the worker side
     depends only on JSON-shaped data — the same record shape the store
-    persists.
+    persists.  *log_dir* (``--log-decisions``) writes each simulated
+    cell's scheduler decision log to ``<log_dir>/<cell key>.jsonl`` —
+    an out-of-band side channel, so cell keys and summaries are
+    untouched.
     """
     cell = CampaignCell.from_config(config)
     key = cell.key()
+    obs = get_obs()
     start = time.perf_counter()
     try:
-        if cell.kind == "trace":
-            payload, summary = _trace_payload(cell), None
-        else:
-            wspec = cell.workload_spec()
-            metrics = run_one(
-                wspec,
-                cell.seed,
-                cell.mechanism_obj(),
-                cell.sim_config(),
-                jobs=_cell_jobs(cell, wspec),
-            )
-            payload, summary = None, metrics.to_dict()
+        with obs.span("campaign.cell", key=key, kind=cell.kind):
+            if cell.kind == "trace":
+                payload, summary = _trace_payload(cell), None
+            else:
+                log_path = None
+                if log_dir is not None:
+                    os.makedirs(log_dir, exist_ok=True)
+                    log_path = os.path.join(log_dir, f"{key}.jsonl")
+                wspec = cell.workload_spec()
+                metrics = run_one(
+                    wspec,
+                    cell.seed,
+                    cell.mechanism_obj(),
+                    cell.sim_config(),
+                    jobs=_cell_jobs(cell, wspec),
+                    log_path=log_path,
+                )
+                payload, summary = None, metrics.to_dict()
     except Exception:
+        obs.counter("campaign.cells.failed").inc()
         return CellRecord(
             key=key,
             config=cell.config(),
@@ -115,6 +130,7 @@ def execute_cell(config: Mapping[str, object]) -> CellRecord:
             error=traceback.format_exc(),
             elapsed_s=time.perf_counter() - start,
         )
+    obs.counter("campaign.cells.run").inc()
     return CellRecord(
         key=key,
         config=cell.config(),
@@ -123,6 +139,29 @@ def execute_cell(config: Mapping[str, object]) -> CellRecord:
         payload=payload,
         elapsed_s=time.perf_counter() - start,
     )
+
+
+def execute_cell_traced(
+    config: Mapping[str, object], log_dir: Optional[str] = None
+) -> Tuple[CellRecord, List[Dict[str, object]], Dict[str, object]]:
+    """:func:`execute_cell` under a private instrumentation bundle.
+
+    The pool path runs cells in subprocesses, whose ring buffers the
+    parent cannot see; this wrapper captures the child's spans and
+    metric snapshot alongside the record so the parent can
+    ``obs.ingest()`` them into one merged trace.  Events are tagged
+    with the child's real pid, so Perfetto shows each pool worker as
+    its own process track.
+    """
+    from repro.obs.export import events_from_spans
+
+    with enabled_obs() as child_obs:
+        record = execute_cell(config, log_dir=log_dir)
+        events = events_from_spans(
+            child_obs.tracer.records(),
+            process_name=f"pool-worker-{os.getpid()}",
+        )
+        return record, events, child_obs.snapshot()
 
 
 @dataclass(frozen=True)
@@ -230,6 +269,7 @@ def run_campaign(
     retry_filter: Optional[Mapping[str, object]] = None,
     allow_spec_update: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    log_dir: Optional[str] = None,
 ) -> CampaignRunResult:
     """Execute every not-yet-computed cell of *spec*.
 
@@ -254,6 +294,9 @@ def run_campaign(
         mechanisms, ...) while reusing every already-computed cell.
     progress:
         Optional callback receiving one human-readable line per event.
+    log_dir:
+        Write each simulated cell's scheduler decision log to
+        ``<log_dir>/<cell key>.jsonl`` (``--log-decisions``).
 
     For multi-machine execution of the same grid, see
     :func:`repro.campaign.distrib.run_fleet` — it shares this planner
@@ -281,13 +324,30 @@ def run_campaign(
         f"campaign {spec.name!r}: {len(by_key)} cells "
         f"({plan.n_cached} cached, {len(todo)} to run)"
     )
+    obs = get_obs()
+    obs.counter("campaign.cells.cached").inc(plan.n_cached)
 
     if todo:
         if workers <= 1:
+            # in-process: cell spans land directly in this process's
+            # ring buffer, nested under whatever span the caller holds
             for cell in todo:
-                record = execute_cell(cell.config())
+                record = execute_cell(cell.config(), log_dir=log_dir)
                 store.put(record)
                 say(_cell_line(record, by_key[record.key]))
+        elif obs.enabled:
+            # traced pool: children ship their spans and metric
+            # snapshots back with each record for one merged trace
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(execute_cell_traced, c.config(), log_dir)
+                    for c in todo
+                ]
+                for future in as_completed(futures):
+                    record, events, metrics = future.result()
+                    obs.ingest(events, metrics)
+                    store.put(record)
+                    say(_cell_line(record, by_key[record.key]))
         else:
             # submit + as_completed (not pool.map): records persist the
             # moment each cell finishes, in any order, so a kill loses
@@ -295,7 +355,8 @@ def run_campaign(
             # buffer completed cells behind a slow head-of-line cell
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(execute_cell, c.config()) for c in todo
+                    pool.submit(execute_cell, c.config(), log_dir)
+                    for c in todo
                 ]
                 for future in as_completed(futures):
                     record = future.result()

@@ -47,6 +47,8 @@ from repro.campaign.report import (
 from repro.campaign.spec import canonical_json
 from repro.campaign.store import CellRecord
 from repro.campaign.svg import bar_chart, chart_css, fmt_value, line_chart
+from repro.campaign.timeline import timeline_summary_rows, trace_timeline_svg
+from repro.obs import get_obs
 
 #: spec axes surfaced in the report header, in display order
 _SPEC_AXES = (
@@ -389,6 +391,33 @@ def _diff_section(diff: DiffTable) -> str:
 # ----------------------------------------------------------------------
 # Documents
 # ----------------------------------------------------------------------
+def _timeline_section(trace_doc: Mapping[str, object]) -> str:
+    """The instrumentation timeline panel: flame-style span SVG plus a
+    top-spans table, built from a ``--trace`` JSON document."""
+    svg = trace_timeline_svg(trace_doc, title=None, embed_style=False)
+    rows = timeline_summary_rows(trace_doc)
+    table = ""
+    if rows:
+        body_rows = "".join(
+            f"<tr><td><code>{esc(name)}</code></td>"
+            f'<td class="num">{count}</td>'
+            f'<td class="num">{fmt_value(total_ms)}</td></tr>'
+            for name, count, total_ms in rows
+        )
+        table = (
+            "<table><thead><tr><th>span</th><th>count</th>"
+            "<th>total ms</th></tr></thead>"
+            f"<tbody>{body_rows}</tbody></table>"
+        )
+    return (
+        "<h2>Instrumentation timeline</h2>"
+        '<p class="subtitle">spans captured with <code>--trace</code>; '
+        "load the .trace.json in ui.perfetto.dev for the interactive "
+        "view</p>"
+        f'<div class="chart-card">{svg}</div>{table}'
+    )
+
+
 def _document(title: str, body: str) -> str:
     return (
         "<!DOCTYPE html>\n"
@@ -415,31 +444,37 @@ def render_campaign_html(
     a_name: str = "A",
     b_name: str = "B",
     title: Optional[str] = None,
+    trace_doc: Optional[Mapping[str, object]] = None,
 ) -> str:
     """Render one campaign (and optionally a diff) as one HTML file.
 
     Parameters mirror ``campaign report``: *by* groups the pivot rows,
     *metrics* picks the value columns, *x* chooses the chart x-axis
-    config field (default: the last *by* field), and *diff_records*
-    adds the two-campaign diff section with *records* as side A.
+    config field (default: the last *by* field), *diff_records* adds
+    the two-campaign diff section with *records* as side A, and
+    *trace_doc* (a loaded ``.trace.json``) appends the instrumentation
+    timeline panel.
     """
-    name = title
-    if name is None:
-        name = str((spec_dict or {}).get("name", "campaign"))
-    body = [_header_section(name, spec_dict, records)]
-    body.append(_pivot_section(records, by, metrics))
-    body.append(_charts_section(records, by, metrics, x))
-    body.append(_errors_section(records))
-    if diff_records is not None:
-        diff = build_diff(
-            records,
-            diff_records,
-            metrics=metrics,
-            a_name=a_name,
-            b_name=b_name,
-        )
-        body.append(_diff_section(diff))
-    return _document(f"{name} — campaign report", "".join(body))
+    with get_obs().span("report.html.render", n_records=len(records)):
+        name = title
+        if name is None:
+            name = str((spec_dict or {}).get("name", "campaign"))
+        body = [_header_section(name, spec_dict, records)]
+        body.append(_pivot_section(records, by, metrics))
+        body.append(_charts_section(records, by, metrics, x))
+        body.append(_errors_section(records))
+        if diff_records is not None:
+            diff = build_diff(
+                records,
+                diff_records,
+                metrics=metrics,
+                a_name=a_name,
+                b_name=b_name,
+            )
+            body.append(_diff_section(diff))
+        if trace_doc is not None:
+            body.append(_timeline_section(trace_doc))
+        return _document(f"{name} — campaign report", "".join(body))
 
 
 def render_exhibit_html(

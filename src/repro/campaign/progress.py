@@ -60,6 +60,7 @@ from repro.campaign.store import (
     CellRecord,
     read_jsonl_since,
 )
+from repro.obs import get_obs
 from repro.util.errors import ConfigurationError
 
 logger = logging.getLogger(__name__)
@@ -314,6 +315,8 @@ class ProgressIndex:
                     self._torn_warned[rel] = new_offset
             else:
                 self._torn_warned.pop(rel, None)
+        if n_bytes:
+            get_obs().counter("progress.scan.bytes").inc(n_bytes)
         stats = RefreshStats(
             n_files=len(present),
             n_bytes_read=n_bytes,

@@ -29,6 +29,7 @@ from repro.campaign.spec import CampaignSpec, canonical_json
 from repro.campaign.store import CellRecord, ResultStore
 from repro.metrics.report import format_table
 from repro.metrics.summary import SummaryMetrics, average_summaries
+from repro.obs import get_obs
 from repro.util.errors import ConfigurationError
 
 #: default pivot columns for ``campaign report``
@@ -64,6 +65,8 @@ METRIC_DIRECTIONS: Dict[str, int] = {
     "reserved_idle_frac": -1,
     "decision_latency_p50_s": -1,
     "decision_latency_p95_s": -1,
+    "decision_latency_p99_s": -1,
+    "decision_latency_mean_s": -1,
     "decision_latency_max_s": -1,
     "makespan_h": -1,
     "wall_time_s": -1,
@@ -164,26 +167,29 @@ def build_pivot(
     rows; they are counted so renderers can surface them.
     """
     _validate_metrics(metrics)
-    raw = group_records(records, by)
-    rows: List[PivotRow] = []
-    for key, recs in raw.items():
-        summary = average_summaries([r.summary_metrics() for r in recs])
-        d = summary.as_dict()
-        rows.append(
-            PivotRow(
-                group=key,
-                n_cells=len(recs),
-                values={m: d.get(m) for m in metrics},
+    with get_obs().span("report.pivot.build", n_records=len(records)):
+        raw = group_records(records, by)
+        rows: List[PivotRow] = []
+        for key, recs in raw.items():
+            summary = average_summaries(
+                [r.summary_metrics() for r in recs]
             )
+            d = summary.as_dict()
+            rows.append(
+                PivotRow(
+                    group=key,
+                    n_cells=len(recs),
+                    values={m: d.get(m) for m in metrics},
+                )
+            )
+        return PivotTable(
+            by=tuple(by),
+            metrics=tuple(metrics),
+            rows=tuple(rows),
+            n_ok=sum(1 for r in records if r.ok),
+            n_error=sum(1 for r in records if not r.ok),
+            title=title,
         )
-    return PivotTable(
-        by=tuple(by),
-        metrics=tuple(metrics),
-        rows=tuple(rows),
-        n_ok=sum(1 for r in records if r.ok),
-        n_error=sum(1 for r in records if not r.ok),
-        title=title,
-    )
 
 
 # ----------------------------------------------------------------------
@@ -265,6 +271,20 @@ class DiffTable:
 
 
 def build_diff(
+    a_records: Sequence[CellRecord],
+    b_records: Sequence[CellRecord],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    a_name: str = "A",
+    b_name: str = "B",
+) -> DiffTable:
+    """Cell-matched diff between two campaigns (see the impl docstring)."""
+    with get_obs().span(
+        "report.diff.build", n_a=len(a_records), n_b=len(b_records)
+    ):
+        return _build_diff_impl(a_records, b_records, metrics, a_name, b_name)
+
+
+def _build_diff_impl(
     a_records: Sequence[CellRecord],
     b_records: Sequence[CellRecord],
     metrics: Sequence[str] = DEFAULT_METRICS,

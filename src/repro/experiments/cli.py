@@ -29,6 +29,15 @@ Distributed campaigns (cell leasing + per-worker shards)::
     repro-hybrid campaign worker --dir /shared/runs/big --shard node1-0
     repro-hybrid campaign merge --dir /shared/runs/big
     repro-hybrid campaign status --dir /shared/runs/big --watch
+
+Instrumentation (spans + metrics, Perfetto-compatible traces)::
+
+    repro-hybrid campaign run --dir runs/grid --trace run.trace.json
+    repro-hybrid campaign fleet --dir runs/big --trace fleet.trace.json
+    repro-hybrid campaign report --dir runs/grid --html report.html \\
+        --trace run.trace.json
+    repro-hybrid obs summary run.trace.json
+    repro-hybrid obs from-decisions runs/logs/*.jsonl -o sim.trace.json
 """
 
 from __future__ import annotations
@@ -236,6 +245,22 @@ def make_campaign_parser() -> argparse.ArgumentParser:
         help="with --retry-failed: only retry failures matching every "
         'pair, e.g. --filter "mechanism=N&PAA" seed=2',
     )
+    run_p.add_argument(
+        "--trace",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="capture instrumentation spans + metrics and write a "
+        "Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev)",
+    )
+    run_p.add_argument(
+        "--log-decisions",
+        dest="log_decisions",
+        default=None,
+        metavar="DIR",
+        help="write each cell's scheduler decision log to "
+        "DIR/<cell key>.jsonl",
+    )
 
     fleet_p = sub.add_parser(
         "fleet",
@@ -265,6 +290,14 @@ def make_campaign_parser() -> argparse.ArgumentParser:
     )
     fleet_p.add_argument("--ttl", type=float, default=60.0)
     fleet_p.add_argument("--poll", type=float, default=1.0)
+    fleet_p.add_argument(
+        "--trace",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="trace the launcher AND every worker (workers write "
+        "<dir>/traces/<shard>.trace.json; all merged into FILE)",
+    )
 
     worker_p = sub.add_parser(
         "worker",
@@ -285,6 +318,13 @@ def make_campaign_parser() -> argparse.ArgumentParser:
         "--no-wait", action="store_true",
         help="exit when nothing is claimable instead of waiting for "
         "other workers' leases to resolve",
+    )
+    worker_p.add_argument(
+        "--trace",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="write this worker's spans + metrics as trace-event JSON",
     )
 
     merge_p = sub.add_parser(
@@ -366,6 +406,46 @@ def make_campaign_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="open the --html file in the default browser",
     )
+    report_p.add_argument(
+        "--trace",
+        dest="trace_in",
+        default=None,
+        metavar="FILE",
+        help="embed a span-timeline panel for this .trace.json in the "
+        "--html report",
+    )
+    return parser
+
+
+def make_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hybrid obs",
+        description="Inspect and convert instrumentation traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary_p = sub.add_parser(
+        "summary",
+        help="text tables (spans, counters, histograms) for a trace file",
+    )
+    summary_p.add_argument("trace", help=".trace.json produced by --trace")
+    summary_p.add_argument(
+        "--top", type=int, default=20,
+        help="span rows to show (by total time)",
+    )
+
+    conv_p = sub.add_parser(
+        "from-decisions",
+        help="convert scheduler decision JSONL logs to a sim-time trace",
+    )
+    conv_p.add_argument(
+        "logs", nargs="+",
+        help="decision-log .jsonl file(s) from --log-decisions",
+    )
+    conv_p.add_argument(
+        "-o", "--out", required=True,
+        help="output trace-event JSON path",
+    )
     return parser
 
 
@@ -435,6 +515,16 @@ def _parse_filters(pairs: Optional[List[str]]) -> Optional[dict]:
     return out
 
 
+def _enable_obs_if(trace_out: Optional[str]):
+    """Switch the process-global instrumentation on when ``--trace`` was
+    given; returns the live :class:`~repro.obs.Observability` or None."""
+    if not trace_out:
+        return None
+    from repro.obs import enable
+
+    return enable()
+
+
 def campaign_main(argv: List[str]) -> int:
     from repro.campaign import (
         DEFAULT_GROUP_BY,
@@ -449,6 +539,7 @@ def campaign_main(argv: List[str]) -> int:
     args = make_campaign_parser().parse_args(argv)
     if args.command == "run":
         spec = _campaign_spec_from_args(args)
+        obs = _enable_obs_if(getattr(args, "trace_out", None))
         result = run_campaign(
             spec,
             directory=args.directory,
@@ -457,6 +548,7 @@ def campaign_main(argv: List[str]) -> int:
             retry_filter=_parse_filters(args.filters),
             allow_spec_update=args.grow,
             progress=print,
+            log_dir=args.log_decisions,
         )
         print(
             f"campaign {spec.name!r}: {result.n_total} cells — "
@@ -465,6 +557,11 @@ def campaign_main(argv: List[str]) -> int:
         )
         if args.directory:
             print(f"results stored in {args.directory}")
+        if obs is not None:
+            from repro.obs.export import write_trace
+
+            write_trace(args.trace_out, obs, process_name="campaign-run")
+            print(f"trace written to {args.trace_out}")
         return 1 if result.n_failed else 0
     if args.command == "fleet":
         from repro.campaign.distrib import (
@@ -483,6 +580,7 @@ def campaign_main(argv: List[str]) -> int:
             )
         else:
             backend = LocalSubprocessBackend(workers=args.workers)
+        obs = _enable_obs_if(getattr(args, "trace_out", None))
         fleet = run_fleet(
             spec,
             directory=args.directory,
@@ -491,6 +589,7 @@ def campaign_main(argv: List[str]) -> int:
             poll_s=args.poll,
             allow_spec_update=args.grow,
             progress=print,
+            trace=obs is not None,
         )
         result = fleet.run
         print(
@@ -498,10 +597,35 @@ def campaign_main(argv: List[str]) -> int:
             f"{result.n_cached} cached, {result.n_ran} ran, "
             f"{result.n_failed} failed; merged into {args.directory}"
         )
+        if obs is not None:
+            import glob as _glob
+            from pathlib import Path
+
+            from repro.campaign.distrib.backend import TRACES_DIR
+            from repro.obs.export import (
+                load_trace,
+                merge_trace_data,
+                trace_data,
+                write_trace_data,
+            )
+
+            docs = [trace_data(obs, process_name="fleet-launcher")]
+            worker_traces = sorted(
+                _glob.glob(
+                    str(Path(args.directory) / TRACES_DIR / "*.trace.json")
+                )
+            )
+            docs.extend(load_trace(p) for p in worker_traces)
+            write_trace_data(args.trace_out, merge_trace_data(docs))
+            print(
+                f"trace written to {args.trace_out} "
+                f"({len(worker_traces)} worker trace(s) merged in)"
+            )
         return 0 if fleet.ok else 1
     if args.command == "worker":
         from repro.campaign.distrib import run_worker
 
+        obs = _enable_obs_if(getattr(args, "trace_out", None))
         summary = run_worker(
             args.directory,
             shard=args.shard,
@@ -511,6 +635,13 @@ def campaign_main(argv: List[str]) -> int:
             wait=not args.no_wait,
             progress=print,
         )
+        if obs is not None:
+            from repro.obs.export import write_trace
+
+            write_trace(
+                args.trace_out, obs,
+                process_name=f"worker-{args.shard}",
+            )
         print(
             f"worker {summary.owner} shard={summary.shard}: "
             f"{summary.n_executed} cells executed "
@@ -581,6 +712,11 @@ def campaign_main(argv: List[str]) -> int:
         if args.html_out:
             from repro.campaign.html import render_campaign_html
 
+            trace_doc = None
+            if args.trace_in:
+                from repro.obs.export import load_trace
+
+                trace_doc = load_trace(args.trace_in)
             document = render_campaign_html(
                 records,
                 spec_dict=spec_dict,
@@ -590,6 +726,7 @@ def campaign_main(argv: List[str]) -> int:
                 diff_records=other,
                 a_name=args.directory,
                 b_name=args.diff or "B",
+                trace_doc=trace_doc,
             )
             with open(args.html_out, "w", encoding="utf-8") as fh:
                 fh.write(document)
@@ -601,6 +738,42 @@ def campaign_main(argv: List[str]) -> int:
                 webbrowser.open(Path(args.html_out).resolve().as_uri())
         elif args.open_html:
             raise SystemExit("--open requires --html FILE")
+        elif args.trace_in:
+            raise SystemExit("--trace requires --html FILE")
+        return 0
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+def obs_main(argv: List[str]) -> int:
+    from repro.obs.export import (
+        events_from_schedlog,
+        load_trace,
+        render_summary,
+        write_trace_data,
+    )
+
+    args = make_obs_parser().parse_args(argv)
+    if args.command == "summary":
+        print(render_summary(load_trace(args.trace), top=args.top))
+        return 0
+    if args.command == "from-decisions":
+        from repro.sim.schedlog import iter_from_file
+
+        events: List[dict] = []
+        for path in args.logs:
+            events.extend(events_from_schedlog(iter_from_file(path)))
+        write_trace_data(
+            args.out,
+            {
+                "traceEvents": events,
+                "displayTimeUnit": "ms",
+                "otherData": {},
+            },
+        )
+        print(
+            f"trace written to {args.out} "
+            f"({len(events)} events from {len(args.logs)} log(s))"
+        )
         return 0
     raise AssertionError(args.command)  # pragma: no cover
 
@@ -621,6 +794,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "campaign":
         return campaign_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return obs_main(argv[1:])
     args = make_parser().parse_args(argv)
     if args.exhibit == "table3":
         out = figures.table3_mixes()

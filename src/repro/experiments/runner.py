@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mechanisms import Mechanism
@@ -47,16 +47,26 @@ def run_one(
     mechanism: Optional[Mechanism],
     sim: Optional[SimConfig] = None,
     jobs: Optional[List] = None,
+    log_path: Optional[str] = None,
 ) -> SummaryMetrics:
     """Generate (or accept) a trace and simulate it under one mechanism.
 
     *jobs* bypasses the synthetic generator — the campaign engine's SWF
     cells build their job list from a real log and pass it in here.
+
+    *log_path* turns on decision logging for this run and writes the
+    log as JSONL there (``--log-decisions``); it is deliberately an
+    out-of-band side channel so it never perturbs the summary or any
+    content-addressed cell key derived from the config.
     """
     sim = sim or SimConfig(system_size=spec.system_size)
+    if log_path is not None and not sim.log_decisions:
+        sim = replace(sim, log_decisions=True)
     if jobs is None:
         jobs = generate_trace(spec, seed=seed)
     result = Simulation(jobs, sim, mechanism).run()
+    if log_path is not None and result.log is not None:
+        result.log.write_jsonl(log_path)
     return summarize(result, instant_threshold_s=sim.instant_threshold_s)
 
 

@@ -61,6 +61,8 @@ class SummaryMetrics:
     # -- simulator throughput (defaults keep pre-existing stored
     #    summaries loadable; see PERF_METRICS) --------------------------
     decision_latency_p95_s: float = 0.0
+    decision_latency_p99_s: float = 0.0
+    decision_latency_mean_s: float = 0.0
     #: host wall-clock seconds the simulation took
     wall_time_s: float = 0.0
     #: events the simulator dispatched (identical across replan modes)
@@ -118,6 +120,8 @@ WALLCLOCK_METRICS = frozenset(
     {
         "decision_latency_p50_s",
         "decision_latency_p95_s",
+        "decision_latency_p99_s",
+        "decision_latency_mean_s",
         "decision_latency_max_s",
         "wall_time_s",
     }
@@ -237,6 +241,8 @@ def summarize(
         reserved_idle_frac=result.reserved_idle_node_seconds / capacity,
         decision_latency_p50_s=result.decision_latency.p50_s,
         decision_latency_p95_s=result.decision_latency.p95_s,
+        decision_latency_p99_s=result.decision_latency.p99_s,
+        decision_latency_mean_s=result.decision_latency.mean_s,
         decision_latency_max_s=result.decision_latency.max_s,
         makespan_h=result.makespan / HOUR,
         lease_resumes=result.lease_resumes,

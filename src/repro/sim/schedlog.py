@@ -15,6 +15,8 @@ large campaign grids pay nothing.
 from __future__ import annotations
 
 import enum
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
@@ -52,6 +54,45 @@ class LogEntry:
             f"[{format_duration(self.time):>8}] "
             f"{self.kind.value:<20} job={self.job_id}{nodes}{extra}"
         )
+
+    def to_json_line(self) -> str:
+        """One JSONL record (no trailing newline), key-sorted for
+        byte-stable output on identical logs."""
+        return json.dumps(
+            {
+                "time": self.time,
+                "kind": self.kind.value,
+                "job_id": self.job_id,
+                "nodes": self.nodes,
+                "detail": self.detail,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "LogEntry":
+        data = json.loads(line)
+        return cls(
+            time=float(data["time"]),
+            kind=LogKind(data["kind"]),
+            job_id=int(data["job_id"]),
+            nodes=int(data.get("nodes", 0)),
+            detail=str(data.get("detail", "")),
+        )
+
+
+def iter_from_file(path: os.PathLike) -> Iterator[LogEntry]:
+    """Stream :class:`LogEntry` records back out of a JSONL file.
+
+    The inverse of :meth:`SchedulerLog.write_jsonl`; feeds the trace
+    exporter (``repro-hybrid obs from-decisions``) and any offline
+    analysis without loading the whole log into memory.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield LogEntry.from_json_line(line)
 
 
 class SchedulerLog:
@@ -95,3 +136,11 @@ class SchedulerLog:
         if len(entries) > limit:
             lines.append(f"... ({len(entries) - limit} more entries)")
         return "\n".join(lines)
+
+    def write_jsonl(self, path: os.PathLike) -> int:
+        """Write the whole log as JSONL; returns the entry count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in self.entries:
+                fh.write(e.to_json_line())
+                fh.write("\n")
+        return len(self.entries)

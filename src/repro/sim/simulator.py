@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.coordinator import HybridCoordinator
+from repro.obs import get_obs
 from repro.core.mechanisms import Mechanism
 from repro.jobs.job import Job, JobState, JobType, NoticeClass
 from repro.jobs.malleable_exec import MalleableExecution
@@ -79,7 +80,8 @@ class RunningJob:
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Summary of a latency sample stream (count / p50 / p95 / max).
+    """Summary of a latency sample stream (count / p50 / p95 / p99 /
+    max / mean).
 
     Stored instead of the raw sample list: a 10k-job campaign cell used
     to drag tens of thousands of floats through every result record for
@@ -91,6 +93,7 @@ class LatencyStats:
     p95_s: float = 0.0
     p99_s: float = 0.0
     max_s: float = 0.0
+    mean_s: float = 0.0
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
@@ -107,6 +110,23 @@ class LatencyStats:
             p95_s=pct(0.95),
             p99_s=pct(0.99),
             max_s=ordered[-1],
+            mean_s=sum(ordered) / len(ordered),
+        )
+
+    @classmethod
+    def from_histogram(cls, h) -> "LatencyStats":
+        """Derive from an obs registry :class:`~repro.obs.registry.Histogram`
+        (same sample stream, one source of truth; percentiles are
+        bucket-approximate, mean/max exact)."""
+        if not h.count:
+            return cls()
+        return cls(
+            count=h.count,
+            p50_s=h.percentile(0.50),
+            p95_s=h.percentile(0.95),
+            p99_s=h.percentile(0.99),
+            max_s=h.vmax,
+            mean_s=h.mean,
         )
 
 
@@ -205,6 +225,24 @@ class Simulation:
         self._failure_rng = RngStreams(self.config.failure_seed).get("failures")
         self._failures_injected = 0
         self.log = SchedulerLog(enabled=self.config.log_decisions)
+        # Instrumentation (repro.obs): metric objects are resolved once
+        # here — with the default disabled bundle every one is a shared
+        # no-op, so the funnel pays a single no-op method call per hit.
+        # Per-event totals are flushed in bulk at the end of run().
+        obs = self._obs = get_obs()
+        self._c_timeline_upserts = obs.counter("sim.timeline.upserts")
+        self._c_timeline_removes = obs.counter("sim.timeline.removes")
+        self._c_dirty = {
+            cause: obs.counter(f"sim.dirty.{cause}")
+            for cause in (
+                "start",
+                "finish",
+                "preempt",
+                "resize",
+                "submit",
+                "coordinator",
+            )
+        }
         self._seed_events()
 
     # ------------------------------------------------------------------
@@ -277,6 +315,7 @@ class Simulation:
         funnel method on this class marks itself.
         """
         self._sched_dirty = True
+        self._c_dirty["coordinator"].inc()
 
     # ------------------------------------------------------------------
     # Job lifecycle operations
@@ -334,8 +373,10 @@ class Simulation:
         rj = RunningJob(job=job, execution=ex, nodes=nodes, epoch=epoch, started_at=t)
         self.running[job.job_id] = rj
         self._sched_dirty = True
+        self._c_dirty["start"].inc()
         if self._track_timeline:
             self.timeline.set_block(job.job_id, rj.predicted_finish(), nodes)
+            self._c_timeline_upserts.inc()
         job.set_state(JobState.RUNNING)
         if job.stats.first_start is None:
             job.stats.first_start = t
@@ -379,8 +420,10 @@ class Simulation:
         if rj is None:
             raise SimulationError(f"preempt of non-running job {job_id}")
         self._sched_dirty = True
+        self._c_dirty["preempt"].inc()
         if self._track_timeline:
             self.timeline.remove_block(job_id)
+            self._c_timeline_removes.inc()
         job = rj.job
         acc = rj.execution.preempt(self.now)
         self._record_segment(rj, rj.started_at, self.now, acc.allocated)
@@ -440,10 +483,12 @@ class Simulation:
         rj.epoch += 1
         self._epochs[rj.job.job_id] = rj.epoch
         self._sched_dirty = True
+        self._c_dirty["resize"].inc()
         if self._track_timeline:
             self.timeline.set_block(
                 rj.job.job_id, rj.predicted_finish(), rj.nodes
             )
+            self._c_timeline_upserts.inc()
         self.equeue.push(
             rj.execution.finish_time(),
             EventType.JOB_FINISH,
@@ -482,6 +527,7 @@ class Simulation:
         job.set_state(JobState.QUEUED)
         self.queue.append(job)
         self._sched_dirty = True
+        self._c_dirty["submit"].inc()
         self.log.add(self.now, LogKind.SUBMIT, job_id, nodes=job.size)
         if job.is_ondemand:
             self.coordinator.on_od_arrival(job)
@@ -503,8 +549,10 @@ class Simulation:
         if rj is None or rj.epoch != epoch:
             return  # stale event from before a resize/preemption
         self._sched_dirty = True
+        self._c_dirty["finish"].inc()
         if self._track_timeline:
             self.timeline.remove_block(job_id)
+            self._c_timeline_removes.inc()
         job = rj.job
         acc = rj.execution.complete(self.now)
         self._record_segment(rj, rj.started_at, self.now, acc.allocated)
@@ -685,6 +733,13 @@ class Simulation:
             self._passes_skipped += 1
             return
         self._schedule_passes += 1
+        # attrs deliberately omitted: this span fires once per executed
+        # pass and is the hottest traced region — the enabled-path
+        # budget (bench_sim_core) leaves no room for per-pass kwargs
+        with self._obs.span("sim.pass"):
+            self._schedule_pass_body()
+
+    def _schedule_pass_body(self) -> None:
         self._sched_dirty = False
         book = self.coordinator.book
         # Pre-phase: waiting on-demand jobs assemble nodes via their
@@ -774,17 +829,27 @@ class Simulation:
                 p["od_id"]
             ),
         }
-        while len(self.equeue):
-            batch = self.equeue.pop_batch()
-            now = self.now
-            self.cluster.advance(now)
-            self.coordinator.book.advance(now)
-            for ev in batch:
-                self._events_processed += 1
-                dispatch[ev.type](ev.payload)
-            self._schedule_pass()
-            if self.config.validate_invariants:
-                self.validate_state()
+        with self._obs.span("sim.run", jobs=len(self.jobs)):
+            while len(self.equeue):
+                batch = self.equeue.pop_batch()
+                now = self.now
+                self.cluster.advance(now)
+                self.coordinator.book.advance(now)
+                for ev in batch:
+                    self._events_processed += 1
+                    dispatch[ev.type](ev.payload)
+                self._schedule_pass()
+                if self.config.validate_invariants:
+                    self.validate_state()
+        # bulk-flush loop totals: one counter call per run, not per event
+        obs = self._obs
+        obs.counter("sim.events.processed").inc(self._events_processed)
+        obs.counter("sim.passes.run").inc(self._schedule_passes)
+        obs.counter("sim.passes.skipped").inc(self._passes_skipped)
+        if obs.enabled:
+            h = obs.histogram("sched.decision.latency_s")
+            for sample in self.coordinator.decision_latencies:
+                h.observe(sample)
 
         if self.running or self.queue:
             raise SimulationError(

@@ -81,7 +81,11 @@ class TestCliSnippetsParse:
 
     @pytest.mark.parametrize("doc", ["README.md", "EXPERIMENTS.md"])
     def test_doc_snippets_parse(self, doc, capsys):
-        from repro.experiments.cli import make_campaign_parser, make_parser
+        from repro.experiments.cli import (
+            make_campaign_parser,
+            make_obs_parser,
+            make_parser,
+        )
 
         snippets = cli_snippets((ROOT / doc).read_text())
         assert snippets, f"{doc} lost all its CLI snippets"
@@ -90,6 +94,8 @@ class TestCliSnippetsParse:
             try:
                 if argv and argv[0] == "campaign":
                     make_campaign_parser().parse_args(argv[1:])
+                elif argv and argv[0] == "obs":
+                    make_obs_parser().parse_args(argv[1:])
                 else:
                     make_parser().parse_args(argv)
             except SystemExit as exc:  # argparse rejected the snippet
