@@ -12,8 +12,10 @@ import shutil
 import time
 
 from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.perf.harness import measure
+from repro.perf.record import PerfRecord, current_git_sha
 
-from conftest import OUT_DIR, bench_days, bench_workers
+from conftest import bench_days, bench_workers, out_dir, perf_store  # noqa: F401
 
 
 def _spec() -> CampaignSpec:
@@ -29,15 +31,21 @@ def _spec() -> CampaignSpec:
     )
 
 
-def test_campaign_cache(benchmark, emit):
-    directory = OUT_DIR / "campaign_cache"
+def test_campaign_cache(benchmark, emit, perf_store):
+    directory = out_dir() / "campaign_cache"
     shutil.rmtree(directory, ignore_errors=True)
     spec = _spec()
     workers = bench_workers()
 
-    t0 = time.perf_counter()
-    cold = run_campaign(spec, directory=directory, workers=workers)
-    cold_s = time.perf_counter() - t0
+    holder = {}
+
+    def cold_run():
+        holder["r"] = run_campaign(
+            spec, directory=directory, workers=workers
+        )
+
+    cold_s = measure(cold_run, warmup=0, repeat=1).wall_time_s
+    cold = holder["r"]
     assert cold.n_ran == cold.n_total and cold.n_failed == 0
 
     warm = benchmark.pedantic(
@@ -47,9 +55,27 @@ def test_campaign_cache(benchmark, emit):
     )
     assert warm.n_cached == warm.n_total and warm.n_ran == 0
 
-    t0 = time.perf_counter()
-    run_campaign(spec, directory=directory, workers=workers)
-    warm_s = max(time.perf_counter() - t0, 1e-9)
+    warm_s = max(
+        measure(
+            lambda: run_campaign(spec, directory=directory, workers=workers),
+            warmup=0,
+            repeat=1,
+        ).wall_time_s,
+        1e-9,
+    )
+    perf_store.append(
+        PerfRecord(
+            scenario="campaign_cache",
+            params={"days": spec.days[0], "n_cells": cold.n_total},
+            metrics={
+                "wall_time_s": cold_s,
+                "warm_s": warm_s,
+                "cells_per_s": cold.n_total / cold_s,
+            },
+            git_sha=current_git_sha(),
+            recorded_unix=time.time(),
+        )
+    )
 
     # interruption: drop half the store, the re-run completes only the rest
     results = ResultStore(directory).results_path

@@ -6,101 +6,62 @@ The exporter must stay usable on paper-scale campaign directories
 and asserts the render stays under a laptop-friendly wall-clock bound
 and is byte-stable across repeated renders (the property the golden
 tests pin at small scale).
+
+Records come from :func:`repro.perf.scenarios.synth_campaign_records`
+(shared with the ``perf run`` ``html_report`` scenario) and the timing
+goes through :mod:`repro.perf.harness` into the session PerfStore.
 """
 
 import time
 
 from repro.campaign.html import render_campaign_html
-from repro.campaign.store import CellRecord
-from repro.metrics.summary import SummaryMetrics
+from repro.perf.harness import measure
+from repro.perf.record import PerfRecord, current_git_sha
+from repro.perf.scenarios import synth_campaign_records
 
-from conftest import OUT_DIR
+from conftest import emit, out_dir, perf_store  # noqa: F401 - fixtures
 
 N_RECORDS = 10_000
 #: generous CI bound; a laptop renders 10k records in well under this
 MAX_RENDER_S = 20.0
 
-_SUMMARY = dict(
-    mechanism=None, n_jobs=10, n_rigid=5, n_malleable=3, n_ondemand=2,
-    n_noshow=0, avg_turnaround_h=4.0, avg_turnaround_rigid_h=5.0,
-    avg_turnaround_malleable_h=3.0, avg_turnaround_ondemand_h=1.0,
-    instant_start_rate=0.5, avg_ondemand_delay_s=30.0,
-    preemption_ratio_rigid=0.1, preemption_ratio_malleable=0.2,
-    shrink_ratio_malleable=0.0, system_utilization=0.8,
-    allocated_frac=0.8, lost_compute_frac=0.0, wasted_setup_frac=0.0,
-    checkpoint_frac=0.0, reserved_idle_frac=0.0,
-    decision_latency_p50_s=0.001, decision_latency_max_s=0.01,
-    makespan_h=48.0, lease_resumes=0, lease_expands=0,
-)
 
-_MECHANISMS = (None, "N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA")
-_MIXES = ("W1", "W2", "W3", "W4", "W5")
+def test_html_report_scales(emit, perf_store):  # noqa: F811
+    records = synth_campaign_records(N_RECORDS)
+    other = synth_campaign_records(N_RECORDS // 2, backfill="conservative")
 
+    holder = {}
 
-def _records(n: int, backfill: str = "easy"):
-    records = []
-    for i in range(n):
-        mechanism = _MECHANISMS[i % len(_MECHANISMS)]
-        summary = SummaryMetrics(
-            **{
-                **_SUMMARY,
-                "mechanism": mechanism,
-                "avg_turnaround_h": 4.0 + (i % 97) * 0.01,
-                "system_utilization": 0.7 + (i % 29) * 0.01,
-            }
-        ).to_dict()
-        records.append(
-            CellRecord(
-                key=f"{backfill}-{i:06d}",
-                config={
-                    "days": float(7 * (1 + i % 3)),
-                    "target_load": 0.6,
-                    "system_size": 512,
-                    "notice_mix": _MIXES[(i // 5) % len(_MIXES)],
-                    "mechanism": mechanism,
-                    "backfill_mode": backfill,
-                    "checkpoint_multiplier": 1.0,
-                    "failure_mtbf_days": 0.0,
-                    "seed": i // 25,
-                    "kind": "sim",
-                    "spec_overrides": {},
-                    "sim_overrides": {},
-                },
-                status="ok" if i % 200 else "error",
-                summary=summary if i % 200 else None,
-                error=None if i % 200 else "Traceback\nValueError: boom",
-                elapsed_s=1.0,
-            )
+    def render():
+        holder["doc"] = render_campaign_html(
+            records,
+            by=("notice_mix", "mechanism"),
+            diff_records=other,
+            a_name="easy",
+            b_name="conservative",
         )
-    return records
 
-
-def test_html_report_scales(emit):
-    records = _records(N_RECORDS)
-    other = _records(N_RECORDS // 2, backfill="conservative")
-
-    t0 = time.perf_counter()
-    document = render_campaign_html(
-        records,
-        by=("notice_mix", "mechanism"),
-        diff_records=other,
-        a_name="easy",
-        b_name="conservative",
-    )
-    render_s = time.perf_counter() - t0
-
-    again = render_campaign_html(
-        records,
-        by=("notice_mix", "mechanism"),
-        diff_records=other,
-        a_name="easy",
-        b_name="conservative",
-    )
-    assert document == again, "render is not byte-stable"
+    m = measure(render, warmup=0, repeat=1)
+    render_s = m.wall_time_s
+    document = holder["doc"]
+    render()
+    assert document == holder["doc"], "render is not byte-stable"
     assert "<svg" in document and "<h2>Diff" in document
 
-    OUT_DIR.mkdir(exist_ok=True)
-    out = OUT_DIR / "html_report_10k.html"
+    perf_store.append(
+        PerfRecord(
+            scenario="html_report",
+            params={"n_records": N_RECORDS, "diff": 1},
+            metrics={
+                "wall_time_s": render_s,
+                "html_bytes": float(len(document)),
+                "records_per_s": N_RECORDS / render_s,
+            },
+            git_sha=current_git_sha(),
+            recorded_unix=time.time(),
+        )
+    )
+    out = out_dir() / "html_report_10k.html"
     out.write_text(document, encoding="utf-8")
     emit(
         "html_report",

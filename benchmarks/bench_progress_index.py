@@ -25,8 +25,10 @@ import time
 
 from repro.campaign import CellRecord, ProgressIndex
 from repro.campaign.distrib.worker import known_keys
+from repro.perf.harness import measure
+from repro.perf.record import PerfRecord, current_git_sha
 
-from conftest import OUT_DIR, emit  # noqa: F401 - fixture re-export
+from conftest import emit, out_dir, perf_store  # noqa: F401 - fixtures
 
 N_RESULTS = 8_000
 N_SHARDS = 4
@@ -60,16 +62,12 @@ def _build_store(directory) -> None:
 
 
 def _best_of(n, fn):
-    best = float("inf")
-    for _ in range(n):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+    """min-of-n wall clock via the shared perf harness."""
+    return measure(fn, warmup=0, repeat=n).wall_time_s
 
 
-def test_progress_index_warm_scan_speedup(emit):  # noqa: F811
-    directory = OUT_DIR / "progress_index"
+def test_progress_index_warm_scan_speedup(emit, perf_store):  # noqa: F811
+    directory = out_dir() / "progress_index"
     shutil.rmtree(directory, ignore_errors=True)
     _build_store(directory)
 
@@ -119,6 +117,21 @@ def test_progress_index_warm_scan_speedup(emit):  # noqa: F811
     speedup_idle = cold_s / warm_idle_s
     speedup_append = cold_s / warm_append_s
     speedup_held = cold_s / warm_held_s
+    perf_store.append(
+        PerfRecord(
+            scenario="progress_index",
+            params={"n_cells": N_TOTAL},
+            metrics={
+                "wall_time_s": cold_s,
+                "warm_idle_s": warm_idle_s,
+                "warm_append_s": warm_append_s,
+                "warm_held_s": warm_held_s,
+                "cells_per_s": N_TOTAL / cold_s,
+            },
+            git_sha=current_git_sha(),
+            recorded_unix=time.time(),
+        )
+    )
     emit(
         "bench_progress_index",
         "\n".join(
@@ -142,7 +155,7 @@ def test_progress_index_warm_scan_speedup(emit):  # noqa: F811
 
 def test_index_agrees_with_full_scan(emit):  # noqa: F811
     """The speedup is only meaningful if warm and cold scans agree."""
-    directory = OUT_DIR / "progress_index"
+    directory = out_dir() / "progress_index"
     if not directory.exists():  # bench files can run standalone
         _build_store(directory)
     cold = ProgressIndex(directory, name="bench-verify", autosave=False)

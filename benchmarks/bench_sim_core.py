@@ -16,126 +16,100 @@ planners, and asserts the ISSUE floor:
   (``replan_invariant_view`` masks only wall-clock fields and the
   executed/skipped pass counters).
 
-``REPRO_BENCH_PROFILE=0`` skips the cProfile artifact of the 10k run
-(written to ``benchmarks/out/bench_sim_core_10k.prof`` + a readable
-top-function listing for the CI artifact upload).
+All timings route through :mod:`repro.perf.harness` and land in the
+session :class:`~repro.perf.store.PerfStore`
+(``benchmarks/out/perf_history.jsonl``), so every CI run extends one
+comparable trajectory.  The workload itself
+(:func:`repro.perf.scenarios.synth_jobs`) is shared with the
+``repro-hybrid perf`` CLI — one definition, one scenario hash.
+
+``REPRO_BENCH_PROFILE=0`` skips the cProfile artifact of the 10k run;
+``REPRO_BENCH_MEMORY_JOBS`` scales the memory-ceiling scenario
+(default 100k jobs, ~1 min with the tracemalloc pass).
 """
 
 import cProfile
-import json
 import os
 import pstats
 import time
 
 from repro.core.mechanisms import Mechanism
-from repro.jobs.checkpoint import CheckpointModel
-from repro.jobs.job import Job, JobType, NoticeClass
 from repro.metrics.report import format_table
 from repro.metrics.summary import replan_invariant_view, summarize
-from repro.sim.config import SimConfig
+from repro.perf.harness import bench, measure
+from repro.perf.record import PerfRecord, canonical_json, current_git_sha
+from repro.perf.scenarios import (
+    SYSTEM,
+    bench_sim_config as _config,
+    make_sim_core,
+    synth_jobs,
+)
 from repro.sim.simulator import Simulation
-from repro.util.rng import RngStreams
 from repro.workload.trace import clone_jobs
 
-from conftest import OUT_DIR, emit  # noqa: F401 - fixture re-export
+from conftest import emit, out_dir, perf_store  # noqa: F401 - fixtures
 
-SYSTEM = 4096
 SIZES = (1_000, 5_000, 10_000)
 ASSERT_AT = 10_000
 SPEEDUP_FLOOR = 3.0
 #: EASY scenarios timed at every size (the assertion set)
 MECHANISMS = (None, "CUA&SPAA")
 
-
-def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
-    """A near-saturated stream of small jobs (big running set).
-
-    Sizes 1-3 on 4096 nodes with ~2.5 h runtimes keep thousands of jobs
-    running at once: exactly the regime where the seed's per-pass
-    rebuild (O(running log running) sort per event batch) dominated.
-    5% of jobs are on-demand with accurate advance notice, 15%
-    malleable — so reservations, loans, shrinks, and the resulting
-    stale events all appear at scale.
-    """
-    rng = RngStreams(seed).get("bench-sim-core")
-    avg_size, avg_runtime = 2.0, 9000.0
-    rate = load * SYSTEM / (avg_size * avg_runtime)
-    jobs, t = [], 0.0
-    for i in range(n_jobs):
-        t += float(rng.exponential(1.0 / rate))
-        u = float(rng.uniform())
-        size = int(rng.integers(1, 4))
-        runtime = float(rng.uniform(6_000.0, 12_000.0))
-        estimate = runtime * float(rng.uniform(1.0, 1.5))
-        if u < 0.05:
-            lead = float(rng.uniform(900.0, 1_800.0))
-            jobs.append(
-                Job(
-                    job_id=i,
-                    job_type=JobType.ONDEMAND,
-                    submit_time=t,
-                    size=min(size * 4, 64),
-                    runtime=runtime / 10,
-                    estimate=estimate / 10,
-                    notice_class=NoticeClass.ACCURATE,
-                    notice_time=max(0.0, t - lead),
-                    estimated_arrival=t,
-                )
-            )
-        elif u < 0.20:
-            jobs.append(
-                Job(
-                    job_id=i,
-                    job_type=JobType.MALLEABLE,
-                    submit_time=t,
-                    size=size,
-                    min_size=1,
-                    runtime=runtime,
-                    estimate=estimate,
-                )
-            )
-        else:
-            jobs.append(
-                Job(
-                    job_id=i,
-                    job_type=JobType.RIGID,
-                    submit_time=t,
-                    size=size,
-                    runtime=runtime,
-                    estimate=estimate,
-                )
-            )
-    return jobs
-
-
-def _config(force_full_replan: bool, backfill_mode: str = "easy") -> SimConfig:
-    return SimConfig(
-        system_size=SYSTEM,
-        checkpoint=CheckpointModel.disabled(),
-        backfill_mode=backfill_mode,
-        backfill_depth=16,
-        force_full_replan=force_full_replan,
-    )
+#: memory-ceiling scenario scale (the ROADMAP streaming item's floor)
+MEMORY_JOBS = int(os.environ.get("REPRO_BENCH_MEMORY_JOBS", "100000"))
+#: asserted python-heap ceiling: ~1.3 KiB/job — measured peak is
+#: ~0.6 KiB/job (59 MiB at 100k), so this is ~2x headroom, tight
+#: enough to catch a per-job copy sneaking into the hot loop
+MEMORY_CEILING_BYTES_PER_JOB = 1280
+MEMORY_CEILING_FLOOR_BYTES = 16 * 1024 * 1024
 
 
 def _run(jobs, config, mech_name):
+    """One timed simulation; returns (measurement, result)."""
     mech = Mechanism.parse(mech_name) if mech_name else None
-    t0 = time.perf_counter()
-    result = Simulation(clone_jobs(jobs), config, mech).run()
-    return time.perf_counter() - t0, result
+    holder = {}
+
+    def once():
+        result = holder["result"] = Simulation(
+            clone_jobs(jobs), config, mech
+        ).run()
+        return {
+            "events_processed": float(result.events_processed),
+            "schedule_passes": float(result.schedule_passes),
+            "passes_skipped": float(result.passes_skipped),
+        }
+
+    m = measure(once, warmup=0, repeat=1)
+    return m, holder["result"]
 
 
-def test_incremental_core_speedup(emit):  # noqa: F811
+def test_incremental_core_speedup(emit, perf_store):  # noqa: F811
     rows = []
     totals = {}  # n_jobs -> [inc_total, full_total]
+    git_sha = current_git_sha()
     for n_jobs in SIZES:
         jobs = synth_jobs(n_jobs)
         for mech_name in MECHANISMS:
-            inc_s, inc = _run(jobs, _config(False), mech_name)
-            full_s, full = _run(jobs, _config(True), mech_name)
+            inc_m, inc = _run(jobs, _config(False), mech_name)
+            full_m, full = _run(jobs, _config(True), mech_name)
             assert replan_invariant_view(summarize(inc)) == (
                 replan_invariant_view(summarize(full))
             ), f"metric drift at n={n_jobs} mech={mech_name}"
+            for full_replan, m in ((0, inc_m), (1, full_m)):
+                perf_store.append(
+                    PerfRecord(
+                        scenario="sim_core",
+                        params={
+                            "n_jobs": n_jobs,
+                            "mechanism": mech_name or "",
+                            "full_replan": full_replan,
+                        },
+                        metrics=m.metrics(),
+                        git_sha=git_sha,
+                        recorded_unix=time.time(),
+                    )
+                )
+            inc_s, full_s = inc_m.wall_time_s, full_m.wall_time_s
             tot = totals.setdefault(n_jobs, [0.0, 0.0])
             tot[0] += inc_s
             tot[1] += full_s
@@ -171,15 +145,13 @@ def test_incremental_core_speedup(emit):  # noqa: F811
             ),
         ),
     )
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "bench_sim_core.json").write_text(
-        json.dumps(
+    (out_dir() / "bench_sim_core.json").write_text(
+        canonical_json(
             {
                 "system_size": SYSTEM,
                 "speedups": {str(k): v for k, v in speedups.items()},
                 "rows": rows,
-            },
-            indent=2,
+            }
         )
         + "\n"
     )
@@ -189,14 +161,24 @@ def test_incremental_core_speedup(emit):  # noqa: F811
     )
 
 
-def test_conservative_planner_speedup(emit):  # noqa: F811
+def test_conservative_planner_speedup(emit, perf_store):  # noqa: F811
     """Conservative backfilling builds its per-pass working profile from
     the shared timeline without sorting; smaller win, same equivalence."""
     jobs = synth_jobs(1_000)
-    inc_s, inc = _run(jobs, _config(False, "conservative"), None)
-    full_s, full = _run(jobs, _config(True, "conservative"), None)
+    inc_m, inc = _run(jobs, _config(False, "conservative"), None)
+    full_m, full = _run(jobs, _config(True, "conservative"), None)
+    inc_s, full_s = inc_m.wall_time_s, full_m.wall_time_s
     assert replan_invariant_view(summarize(inc)) == (
         replan_invariant_view(summarize(full))
+    )
+    perf_store.append(
+        PerfRecord(
+            scenario="sim_core",
+            params={"n_jobs": 1000, "backfill": "conservative"},
+            metrics=inc_m.metrics(),
+            git_sha=current_git_sha(),
+            recorded_unix=time.time(),
+        )
     )
     emit(
         "bench_sim_core_conservative",
@@ -212,14 +194,16 @@ def test_conservative_planner_speedup(emit):  # noqa: F811
 def test_obs_overhead(emit):  # noqa: F811
     """Instrumentation overhead budget on the 10k-job scenario.
 
-    The :mod:`repro.obs` hooks are wired into the simulator permanently,
-    so the budget is asserted two ways:
+    The :mod:`repro.obs` hooks — metric objects, spans, and the
+    MemoryProbe's no-op sections — are wired into the simulator
+    permanently, so the budget is asserted two ways:
 
-    * **disabled < 2%**: the per-hit cost of the shared no-op metric and
-      span objects is microbenchmarked, multiplied by the *actual* hook
-      hit counts of the 10k run (taken from an enabled run's own
-      counters — an overestimate, since bulk-flushed counters are
-      charged per event), and compared against the run's wall time;
+    * **disabled < 2%**: the per-hit cost of the shared no-op metric,
+      span, and memory-section objects is microbenchmarked, multiplied
+      by the *actual* hook hit counts of the 10k run (taken from an
+      enabled run's own counters — an overestimate, since bulk-flushed
+      counters are charged per event and every span is charged a
+      memory section too), and compared against the run's wall time;
     * **enabled < 10%**: best-of-three wall clock with a live registry
       + tracer vs best-of-three with the disabled default, interleaved
       so machine drift lands on both modes equally.
@@ -252,15 +236,15 @@ def test_obs_overhead(emit):  # noqa: F811
     disabled_s = min(disabled_times)
     enabled_s = min(enabled_times)
 
-    OUT_DIR.mkdir(exist_ok=True)
-    write_trace_data(OUT_DIR / "bench_sim_core_10k.trace.json", doc)
-    (OUT_DIR / "bench_sim_core_10k_obs_summary.txt").write_text(
+    write_trace_data(out_dir() / "bench_sim_core_10k.trace.json", doc)
+    (out_dir() / "bench_sim_core_10k_obs_summary.txt").write_text(
         render_summary(doc) + "\n"
     )
 
     # null-hook microbenchmark: the only cost the disabled path pays
     null_obs = get_obs()  # disable() above left the DISABLED bundle
     assert not null_obs.enabled
+    assert not null_obs.memory.enabled
     n = 200_000
     counter = null_obs.counter("bench.noop")
     t0 = time.perf_counter()
@@ -273,12 +257,21 @@ def test_obs_overhead(emit):  # noqa: F811
         with span("bench.noop"):
             pass
     per_span_s = (time.perf_counter() - t0) / n
+    section = null_obs.memory.section
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with section("bench.noop"):
+            pass
+    per_msection_s = (time.perf_counter() - t0) / n
 
     metrics = doc["otherData"]["metrics"]
     counter_hits = sum(metrics["counters"].values())
     hist_hits = sum(h["count"] for h in metrics["histograms"].values())
+    # memory sections fire once per sim.run, but charge one per span
+    # as a deliberate overestimate
     disabled_cost_s = (
-        (counter_hits + hist_hits) * per_inc_s + spans_started * per_span_s
+        (counter_hits + hist_hits) * per_inc_s
+        + spans_started * (per_span_s + per_msection_s)
     )
     disabled_frac = disabled_cost_s / disabled_s
     enabled_frac = enabled_s / disabled_s - 1.0
@@ -288,7 +281,8 @@ def test_obs_overhead(emit):  # noqa: F811
             f"obs overhead, 10k jobs: disabled hooks "
             f"{disabled_cost_s * 1e3:.1f}ms of {disabled_s:.2f}s "
             f"({disabled_frac * 100:.2f}%, {counter_hits + hist_hits} "
-            f"metric hits + {spans_started} spans); enabled run "
+            f"metric hits + {spans_started} spans incl. null memory "
+            f"sections); enabled run "
             f"{enabled_s:.2f}s ({enabled_frac * 100:+.1f}%)"
         ),
     )
@@ -302,6 +296,47 @@ def test_obs_overhead(emit):  # noqa: F811
     )
 
 
+def test_memory_ceiling_100k(emit, perf_store):  # noqa: F811
+    """The near-saturated stream at 100k jobs stays under the asserted
+    python-heap ceiling (first concrete step on the ROADMAP streaming
+    item: million-job traces need O(active) memory, not O(trace)).
+
+    The harness times the run untraced, then repeats it once under a
+    :class:`~repro.obs.memory.MemoryProbe` (tracemalloc) for the peak.
+    """
+    params = {"n_jobs": MEMORY_JOBS}
+    record = bench(
+        "sim_core",
+        params,
+        make_sim_core(params),
+        store=perf_store,
+        warmup=0,
+        repeat=1,
+        memory=True,
+    )
+    peak = record.metrics["tracemalloc_peak_bytes"]
+    ceiling = max(
+        MEMORY_CEILING_FLOOR_BYTES,
+        MEMORY_JOBS * MEMORY_CEILING_BYTES_PER_JOB,
+    )
+    emit(
+        "bench_sim_core_memory",
+        (
+            f"memory ceiling, {MEMORY_JOBS} jobs: tracemalloc peak "
+            f"{peak / 2**20:.1f} MiB (ceiling {ceiling / 2**20:.0f} MiB, "
+            f"{peak / MEMORY_JOBS:.0f} B/job), "
+            f"peak RSS {record.metrics['peak_rss_bytes'] / 2**20:.0f} MiB, "
+            f"wall {record.metrics['wall_time_s']:.1f}s, "
+            f"{record.metrics.get('events_per_s', 0.0):.0f} events/s"
+        ),
+    )
+    assert peak < ceiling, (
+        f"python-heap peak {peak / 2**20:.1f} MiB exceeds the "
+        f"{ceiling / 2**20:.0f} MiB ceiling at {MEMORY_JOBS} jobs — "
+        "something started scaling with the trace, not the active set"
+    )
+
+
 def test_profile_artifact(emit):  # noqa: F811
     """cProfile of the 10k-job incremental run (uploaded by CI)."""
     if os.environ.get("REPRO_BENCH_PROFILE", "1") == "0":
@@ -312,12 +347,11 @@ def test_profile_artifact(emit):  # noqa: F811
     profiler.enable()
     result = Simulation(clone_jobs(jobs), config, None).run()
     profiler.disable()
-    OUT_DIR.mkdir(exist_ok=True)
-    prof_path = OUT_DIR / "bench_sim_core_10k.prof"
+    prof_path = out_dir() / "bench_sim_core_10k.prof"
     profiler.dump_stats(prof_path)
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative")
-    with open(OUT_DIR / "bench_sim_core_10k_profile.txt", "w") as fh:
+    with open(out_dir() / "bench_sim_core_10k_profile.txt", "w") as fh:
         stats.stream = fh
         fh.write(
             f"cProfile, incremental 10k-job run "

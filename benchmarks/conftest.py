@@ -22,9 +22,22 @@ import pathlib
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+from repro.perf.store import PerfStore
 from repro.workload.spec import theta_spec
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def out_dir(*parts: str) -> pathlib.Path:
+    """The benchmark artifact directory (gitignored), created on demand.
+
+    Every benchmark routes its outputs through this one helper —
+    ``out_dir()`` for files, ``out_dir("progress_index")`` for a
+    subdirectory — so artifacts never land anywhere CI doesn't upload.
+    """
+    path = OUT_DIR.joinpath(*parts)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 def bench_days() -> float:
@@ -55,8 +68,18 @@ def emit():
     """Print an exhibit and persist it under benchmarks/out/."""
 
     def _emit(name: str, text: str) -> None:
-        OUT_DIR.mkdir(exist_ok=True)
-        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        (out_dir() / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}\n")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def perf_store() -> PerfStore:
+    """The session's perf history (``benchmarks/out/perf_history.jsonl``).
+
+    Every benchmark appends its measurements here through
+    :func:`repro.perf.harness.bench`, so one CI run leaves one
+    comparable JSONL trajectory instead of scattered prints.
+    """
+    return PerfStore(out_dir() / "perf_history.jsonl")

@@ -75,7 +75,8 @@ def merge_shards(
     """
     say = progress or (lambda _msg: None)
     obs = get_obs()
-    with obs.span("distrib.merge.pass"):
+    with obs.span("distrib.merge.pass"), \
+            obs.memory.section("distrib.merge.pass"):
         stats = _merge_shards_inner(directory, prune_leases, index)
     obs.counter("distrib.merge.records.new").inc(stats.n_new)
     obs.counter("distrib.merge.records.duplicate").inc(stats.n_duplicate)

@@ -103,7 +103,8 @@ def execute_cell(
     obs = get_obs()
     start = time.perf_counter()
     try:
-        with obs.span("campaign.cell", key=key, kind=cell.kind):
+        with obs.span("campaign.cell", key=key, kind=cell.kind), \
+                obs.memory.section("campaign.cell"):
             if cell.kind == "trace":
                 payload, summary = _trace_payload(cell), None
             else:

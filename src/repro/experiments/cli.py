@@ -38,6 +38,16 @@ Instrumentation (spans + metrics, Perfetto-compatible traces)::
         --trace run.trace.json
     repro-hybrid obs summary run.trace.json
     repro-hybrid obs from-decisions runs/logs/*.jsonl -o sim.trace.json
+
+Performance observatory (perf history + regression gates)::
+
+    repro-hybrid perf run --scenario sim_core -p n_jobs=1000 \\
+        --history runs/perf/history.jsonl
+    repro-hybrid perf record --baseline benchmarks/baselines/smoke.jsonl
+    repro-hybrid perf compare --history runs/perf/history.jsonl \\
+        --baseline benchmarks/baselines/smoke.jsonl
+    repro-hybrid perf report --history runs/perf/history.jsonl \\
+        --html perf-trend.html
 """
 
 from __future__ import annotations
@@ -449,6 +459,245 @@ def make_obs_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def make_perf_parser() -> argparse.ArgumentParser:
+    from repro.perf.regress import (
+        DEFAULT_GATED_METRICS,
+        DEFAULT_TOLERANCE,
+        DEFAULT_WINDOW,
+    )
+    from repro.perf.scenarios import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-hybrid perf",
+        description="Continuous performance observatory: record, "
+        "compare, and chart perf history.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_measure_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scenario",
+            dest="scenarios",
+            nargs="*",
+            choices=sorted(SCENARIOS),
+            default=["sim_core"],
+            help="named scenario(s) to measure (default: sim_core)",
+        )
+        p.add_argument(
+            "-p",
+            "--param",
+            dest="params",
+            nargs="*",
+            default=None,
+            metavar="KEY=VALUE",
+            help="scenario parameters (JSON-coerced), e.g. -p n_jobs=1000 "
+            "backfill=conservative; params are part of the scenario hash",
+        )
+        p.add_argument("--warmup", type=int, default=1)
+        p.add_argument("--repeat", type=int, default=3)
+        p.add_argument(
+            "--memory",
+            action="store_true",
+            help="add an untimed tracemalloc-profiled iteration "
+            "(peak/current heap, peak RSS, GC collections)",
+        )
+
+    run_p = sub.add_parser(
+        "run", help="measure scenario(s) and append to a history file"
+    )
+    _add_measure_args(run_p)
+    run_p.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="perf-history JSONL to append to (omit to just print)",
+    )
+
+    record_p = sub.add_parser(
+        "record",
+        help="measure scenario(s) into a committed baseline file",
+    )
+    _add_measure_args(record_p)
+    record_p.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/smoke.jsonl",
+        metavar="FILE",
+        help="baseline JSONL to append to; refreshing an existing file "
+        "requires REPRO_UPDATE_BASELINE=1",
+    )
+
+    compare_p = sub.add_parser(
+        "compare",
+        help="judge the newest history records against a baseline "
+        "(exit 1 on regression)",
+    )
+    compare_p.add_argument(
+        "--history", required=True, metavar="FILE",
+        help="perf-history JSONL holding the fresh records to judge",
+    )
+    compare_p.add_argument(
+        "--baseline", required=True, metavar="FILE",
+        help="baseline JSONL (the rolling-median window source)",
+    )
+    compare_p.add_argument(
+        "--metrics", nargs="*", default=list(DEFAULT_GATED_METRICS),
+        help="metric names to gate on",
+    )
+    compare_p.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative tolerance before a change counts (default 0.25)",
+    )
+    compare_p.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help="rolling-median window over the newest baselines",
+    )
+    compare_p.add_argument(
+        "--ignore-machine",
+        action="store_true",
+        help="judge across machine fingerprints (CI runners)",
+    )
+
+    report_p = sub.add_parser(
+        "report", help="render the perf-trend dashboard"
+    )
+    report_p.add_argument(
+        "--history", nargs="+", required=True, metavar="FILE",
+        help="history JSONL file(s), concatenated in order",
+    )
+    report_p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="also judge the newest records against this baseline and "
+        "embed the verdicts table",
+    )
+    report_p.add_argument(
+        "--html",
+        dest="html_out",
+        default=None,
+        metavar="FILE",
+        help="write the self-contained trend dashboard here "
+        "(default: print a text summary)",
+    )
+    report_p.add_argument(
+        "--title", default="Performance trend",
+    )
+    return parser
+
+
+def _perf_params(pairs: Optional[List[str]]) -> dict:
+    params = _parse_filters(pairs) or {}
+    return params
+
+
+def _perf_measure(args: argparse.Namespace, store) -> List:
+    """Run every requested scenario through the shared harness."""
+    from repro.perf.harness import bench
+    from repro.perf.scenarios import SCENARIOS
+
+    params = _perf_params(args.params)
+    records = []
+    for name in args.scenarios:
+        record = bench(
+            name,
+            params,
+            SCENARIOS[name](params),
+            store=store,
+            warmup=args.warmup,
+            repeat=args.repeat,
+            memory=args.memory,
+        )
+        metrics = ", ".join(
+            f"{k}={v:.6g}" for k, v in sorted(record.metrics.items())
+        )
+        print(
+            f"{record.scenario} ({record.scenario_hash}) "
+            f"@ {record.git_sha}: {metrics}"
+        )
+        records.append(record)
+    return records
+
+
+def perf_main(argv: List[str]) -> int:
+    import os
+
+    from repro.perf.regress import compare_latest, render_verdicts
+    from repro.perf.store import PerfStore
+
+    args = make_perf_parser().parse_args(argv)
+    if args.command == "run":
+        store = PerfStore(args.history) if args.history else None
+        _perf_measure(args, store)
+        if args.history:
+            print(f"history appended to {args.history}")
+        return 0
+    if args.command == "record":
+        exists = os.path.exists(args.baseline)
+        if exists and os.environ.get("REPRO_UPDATE_BASELINE") != "1":
+            raise SystemExit(
+                f"{args.baseline} already exists; set "
+                "REPRO_UPDATE_BASELINE=1 to append a refreshed baseline"
+            )
+        _perf_measure(args, PerfStore(args.baseline))
+        print(f"baseline appended to {args.baseline}")
+        return 0
+    if args.command == "compare":
+        current = PerfStore(args.history).load()
+        baseline = PerfStore(args.baseline).load()
+        if not current:
+            raise SystemExit(f"no records in {args.history}")
+        verdicts = compare_latest(
+            current,
+            baseline,
+            metrics=tuple(args.metrics),
+            tolerance=args.tolerance,
+            window=args.window,
+            ignore_machine=args.ignore_machine,
+        )
+        print(render_verdicts(verdicts))
+        return 1 if any(v.failed for v in verdicts) else 0
+    if args.command == "report":
+        from repro.perf.report import render_perf_html
+
+        records = []
+        for path in args.history:
+            records.extend(PerfStore(path).load())
+        verdicts = None
+        if args.baseline:
+            verdicts = compare_latest(
+                records, PerfStore(args.baseline).load()
+            )
+        if args.html_out:
+            document = render_perf_html(
+                records, verdicts=verdicts, title=args.title
+            )
+            parent = os.path.dirname(args.html_out)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(args.html_out, "w", encoding="utf-8") as fh:
+                fh.write(document)
+            print(
+                f"perf-trend dashboard written to {args.html_out} "
+                f"({len(records)} records)"
+            )
+        else:
+            scenarios = {}
+            for rec in records:
+                scenarios.setdefault(rec.scenario_hash, []).append(rec)
+            print(f"{len(records)} records, {len(scenarios)} scenario(s)")
+            for group in scenarios.values():
+                head, last = group[0], group[-1]
+                wall = last.metrics.get("wall_time_s")
+                wall_s = f"{wall:.4g}s" if wall is not None else "-"
+                print(
+                    f"  {head.scenario} ({head.scenario_hash}): "
+                    f"{len(group)} record(s), last wall_time_s={wall_s} "
+                    f"@ {last.git_sha}"
+                )
+            if verdicts:
+                print(render_verdicts(verdicts))
+        return 0
+    raise AssertionError(args.command)  # pragma: no cover
+
+
 def _campaign_spec_from_args(args: argparse.Namespace):
     from repro.campaign.spec import CampaignSpec
 
@@ -796,6 +1045,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return campaign_main(argv[1:])
     if argv and argv[0] == "obs":
         return obs_main(argv[1:])
+    if argv and argv[0] == "perf":
+        return perf_main(argv[1:])
     args = make_parser().parse_args(argv)
     if args.exhibit == "table3":
         out = figures.table3_mixes()

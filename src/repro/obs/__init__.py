@@ -9,7 +9,9 @@ this one package:
 * :mod:`repro.obs.tracing` — nested ``span()`` context managers with
   thread ids and a bounded ring buffer;
 * :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON export,
-  merge, and the ``obs summary`` text renderer.
+  merge, and the ``obs summary`` text renderer;
+* :mod:`repro.obs.memory` — opt-in memory profiling: tracemalloc
+  sections plus ``process.rss_bytes`` / ``gc.collections`` gauges.
 
 The global default is **disabled**: :func:`get_obs` returns a process
 singleton whose metrics are shared no-op objects and whose ``span()``
@@ -29,6 +31,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.obs.memory import (
+    NULL_MEMORY_PROBE,
+    MemoryProbe,
+    NullMemoryProbe,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -50,7 +57,9 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "Gauge",
     "Histogram",
+    "MemoryProbe",
     "MetricsRegistry",
+    "NullMemoryProbe",
     "NullRegistry",
     "NullTracer",
     "Observability",
@@ -78,6 +87,7 @@ class Observability:
         registry=None,
         tracer=None,
         enabled: bool = True,
+        memory=None,
     ) -> None:
         if registry is None:
             registry = MetricsRegistry() if enabled else NullRegistry()
@@ -86,6 +96,10 @@ class Observability:
         self.registry = registry
         self.tracer = tracer
         self.enabled = enabled
+        #: memory profiling is opt-in even when instrumentation is on
+        #: (tracemalloc taxes every allocation); pass a live
+        #: :class:`MemoryProbe` or use ``enable(memory=True)``
+        self.memory = NULL_MEMORY_PROBE if memory is None else memory
         #: pre-rendered Chrome trace events absorbed from subprocesses
         #: (campaign pool children, fleet workers) — exported alongside
         #: this process's own spans
@@ -131,10 +145,21 @@ def set_obs(obs: Observability) -> Observability:
     return previous
 
 
-def enable(capacity: int = DEFAULT_CAPACITY) -> Observability:
-    """Install (and return) a fresh enabled bundle as the default."""
+def enable(
+    capacity: int = DEFAULT_CAPACITY, memory: bool = False
+) -> Observability:
+    """Install (and return) a fresh enabled bundle as the default.
+
+    ``memory=True`` attaches a live :class:`MemoryProbe` (starting
+    tracemalloc if needed) so call sites can measure heap peaks via
+    ``obs.memory.section(...)``.
+    """
+    registry = MetricsRegistry()
     return_obs = Observability(
-        MetricsRegistry(), Tracer(capacity=capacity), enabled=True
+        registry,
+        Tracer(capacity=capacity),
+        enabled=True,
+        memory=MemoryProbe(registry) if memory else None,
     )
     set_obs(return_obs)
     return return_obs
@@ -142,21 +167,29 @@ def enable(capacity: int = DEFAULT_CAPACITY) -> Observability:
 
 def disable() -> Observability:
     """Restore the disabled default; returns the previously active one."""
-    return set_obs(DISABLED)
+    previous = set_obs(DISABLED)
+    previous.memory.close()
+    return previous
 
 
 @contextmanager
-def enabled_obs(capacity: int = DEFAULT_CAPACITY):
+def enabled_obs(capacity: int = DEFAULT_CAPACITY, memory: bool = False):
     """Context manager: enabled instrumentation scoped to a block.
 
-    The primary test helper — guarantees the process default is
-    restored even when the block raises.
+    The primary test helper — guarantees the process default (and the
+    interpreter's tracemalloc state, when ``memory=True``) is restored
+    even when the block raises.
     """
+    registry = MetricsRegistry()
     obs = Observability(
-        MetricsRegistry(), Tracer(capacity=capacity), enabled=True
+        registry,
+        Tracer(capacity=capacity),
+        enabled=True,
+        memory=MemoryProbe(registry) if memory else None,
     )
     previous = set_obs(obs)
     try:
         yield obs
     finally:
         set_obs(previous)
+        obs.memory.close()

@@ -107,6 +107,12 @@ def trace_data(
     process_name: Optional[str] = None,
 ) -> Dict[str, object]:
     """The full exportable trace document for one Observability."""
+    if obs.enabled:
+        # stamp the process memory/GC state into the snapshot so every
+        # trace document answers "how big did this run get"
+        from repro.obs.memory import sample_process_gauges
+
+        sample_process_gauges(obs.registry)
     events = events_from_spans(
         obs.tracer.records(),
         process_name=process_name or "repro-hybrid",
@@ -254,6 +260,15 @@ def render_summary(doc: Mapping[str, object], top: int = 30) -> str:
                 ["counter", "value"],
                 [[k, v] for k, v in sorted(counters.items())],
                 title="Counters",
+            )
+        )
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        blocks.append(
+            format_table(
+                ["gauge", "value"],
+                [[k, v] for k, v in sorted(gauges.items())],
+                title="Gauges (process.* / mem.* sampled at export)",
             )
         )
     histograms = metrics.get("histograms", {})

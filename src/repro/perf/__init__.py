@@ -1,0 +1,44 @@
+"""Continuous performance observatory.
+
+Where :mod:`repro.obs` answers "what did this run do", this package
+answers "is the codebase getting faster or slower over time".  Four
+parts:
+
+* :mod:`repro.perf.record` — the :class:`PerfRecord` schema: one
+  measurement of one scenario, keyed by a content-addressed scenario
+  hash + git SHA + machine fingerprint;
+* :mod:`repro.perf.store` — :class:`PerfStore`, an append-only JSONL
+  history with atomic appends and torn-tail tolerance (same discipline
+  as :mod:`repro.campaign.store`);
+* :mod:`repro.perf.harness` — warmup/repeat/min-of-k measurement
+  shared by every ``benchmarks/bench_*.py`` file and the ``perf run``
+  CLI, so all timings land in one trajectory;
+* :mod:`repro.perf.regress` — noise-aware regression verdicts against
+  a rolling median of recent baselines;
+* :mod:`repro.perf.report` — the perf-trend HTML dashboard
+  (:mod:`repro.campaign.svg` line charts over commits).
+
+Entry points: ``repro-hybrid perf run|record|compare|report``.
+"""
+
+from repro.perf.harness import Measurement, bench, measure
+from repro.perf.record import (
+    PerfRecord,
+    machine_fingerprint,
+    scenario_hash,
+)
+from repro.perf.regress import Verdict, compare_latest, compare_record
+from repro.perf.store import PerfStore
+
+__all__ = [
+    "Measurement",
+    "PerfRecord",
+    "PerfStore",
+    "Verdict",
+    "bench",
+    "compare_latest",
+    "compare_record",
+    "machine_fingerprint",
+    "measure",
+    "scenario_hash",
+]

@@ -1,0 +1,244 @@
+"""Noise-aware perf regression verdicts.
+
+The judge is deliberately boring: for each gated metric, the current
+value is compared against the **rolling median of the last N baseline
+records** for the same scenario hash (median, not mean — one noisy CI
+run must not move the bar), with a **relative tolerance** wide enough
+that ordinary machine jitter never pages anyone, and a **per-metric
+direction**: wall time and byte counts regress *upward*, throughput
+metrics (``*_per_s``) regress *downward*.
+
+Defenses the edge-case tests pin down:
+
+* **no baseline** — first run of a new scenario: verdict
+  ``no-baseline``, never a failure (the gate cannot brick itself on
+  the commit that introduces a scenario);
+* **single-sample history** — the median of one value is that value;
+  compared normally (a 2x slowdown against one honest baseline is
+  still a regression);
+* **NaN/inf** — records store them (see :mod:`repro.perf.record`),
+  the judge reports ``not-finite`` and moves on; non-finite baselines
+  are dropped from the median window first;
+* **machine-fingerprint mismatch** — wall-clock numbers from another
+  host are not evidence; verdict ``machine-mismatch`` with a warning,
+  not a crash and not a pass/fail (CI passes ``ignore_machine=True``
+  because its runners are fungible by design).
+
+Only ``regression`` verdicts fail the gate (exit non-zero).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import statistics
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.perf.record import PerfRecord
+
+#: metrics the gate judges by default; everything else is context
+DEFAULT_GATED_METRICS: Tuple[str, ...] = (
+    "wall_time_s",
+    "events_per_s",
+    "tracemalloc_peak_bytes",
+)
+
+#: default relative tolerance — generous on purpose: CI machines are
+#: shared, and a gate that cries wolf gets deleted
+DEFAULT_TOLERANCE = 0.25
+
+#: rolling-median window over the most recent baseline records
+DEFAULT_WINDOW = 5
+
+#: statuses that fail the gate
+FAILING = frozenset({"regression"})
+
+
+def metric_direction(name: str) -> str:
+    """"lower" (better) or "higher" (better) for a metric name."""
+    if name.endswith("_per_s") or name.endswith("_per_sec"):
+        return "higher"
+    return "lower"
+
+
+@dataclasses.dataclass
+class Verdict:
+    """One metric of one scenario judged against its baseline window."""
+
+    scenario: str
+    scenario_hash: str
+    metric: str
+    status: str  # ok | regression | improvement | no-baseline |
+    #              not-finite | machine-mismatch
+    current: Optional[float] = None
+    baseline: Optional[float] = None  # rolling median
+    ratio: Optional[float] = None  # current / baseline
+    n_baseline: int = 0
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+    def describe(self) -> str:
+        head = f"[{self.status:>16}] {self.scenario} ({self.scenario_hash})"
+        if self.current is None:
+            return f"{head} {self.metric}: {self.note or 'no data'}"
+        body = f"{head} {self.metric}: {self.current:.6g}"
+        if self.baseline is not None:
+            body += (
+                f" vs median {self.baseline:.6g}"
+                f" of {self.n_baseline} baseline(s)"
+            )
+            if self.ratio is not None and math.isfinite(self.ratio):
+                body += f" ({self.ratio:.2f}x)"
+        if self.note:
+            body += f" — {self.note}"
+        return body
+
+
+def compare_record(
+    current: PerfRecord,
+    history: Sequence[PerfRecord],
+    metrics: Sequence[str] = DEFAULT_GATED_METRICS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    ignore_machine: bool = False,
+) -> List[Verdict]:
+    """Judge one record against its scenario's baseline history."""
+    baselines = [
+        r for r in history if r.scenario_hash == current.scenario_hash
+    ]
+    if not ignore_machine:
+        same, other = [], 0
+        for r in baselines:
+            if r.same_machine(current):
+                same.append(r)
+            else:
+                other += 1
+        if other and not same:
+            return [
+                Verdict(
+                    scenario=current.scenario,
+                    scenario_hash=current.scenario_hash,
+                    metric=metric,
+                    status="machine-mismatch",
+                    current=current.metrics.get(metric),
+                    n_baseline=other,
+                    note=(
+                        "all baselines are from a different machine "
+                        "fingerprint; skipping compare (re-record a "
+                        "baseline here, or pass --ignore-machine)"
+                    ),
+                )
+                for metric in metrics
+            ]
+        baselines = same
+    verdicts = []
+    for metric in metrics:
+        verdicts.append(
+            _judge_metric(current, baselines, metric, tolerance, window)
+        )
+    return verdicts
+
+
+def _judge_metric(
+    current: PerfRecord,
+    baselines: Sequence[PerfRecord],
+    metric: str,
+    tolerance: float,
+    window: int,
+) -> Verdict:
+    base = dict(
+        scenario=current.scenario,
+        scenario_hash=current.scenario_hash,
+        metric=metric,
+    )
+    value = current.metrics.get(metric)
+    if value is None:
+        return Verdict(
+            status="no-baseline", note="metric absent from current record",
+            **base,
+        )
+    if not math.isfinite(value):
+        return Verdict(
+            status="not-finite", current=value,
+            note="current value is not finite; nothing to judge", **base,
+        )
+    window_values = [
+        v
+        for r in baselines[-window:]
+        if (v := r.metrics.get(metric)) is not None and math.isfinite(v)
+    ]
+    if not window_values:
+        return Verdict(
+            status="no-baseline", current=value,
+            note="no finite baseline samples for this scenario", **base,
+        )
+    median = statistics.median(window_values)
+    ratio = value / median if median else math.inf
+    direction = metric_direction(metric)
+    if direction == "lower":
+        regressed = value > median * (1.0 + tolerance)
+        improved = value < median * (1.0 - tolerance)
+    else:
+        regressed = value < median * (1.0 - tolerance)
+        improved = value > median * (1.0 + tolerance)
+    status = "regression" if regressed else (
+        "improvement" if improved else "ok"
+    )
+    return Verdict(
+        status=status,
+        current=value,
+        baseline=median,
+        ratio=ratio,
+        n_baseline=len(window_values),
+        note=f"{direction}-is-better, tolerance ±{tolerance:.0%}",
+        **base,
+    )
+
+
+def compare_latest(
+    current_records: Iterable[PerfRecord],
+    baseline_records: Sequence[PerfRecord],
+    metrics: Sequence[str] = DEFAULT_GATED_METRICS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    ignore_machine: bool = False,
+) -> List[Verdict]:
+    """Judge the newest record of each scenario hash in *current_records*.
+
+    ``current_records`` is usually a fresh run's store; only the last
+    record per scenario hash is judged (earlier ones are that same
+    invocation's own history, not evidence of a regression).
+    """
+    latest: Dict[str, PerfRecord] = {}
+    for rec in current_records:
+        latest[rec.scenario_hash] = rec  # append order: last one wins
+    verdicts: List[Verdict] = []
+    for rec in latest.values():
+        verdicts.extend(
+            compare_record(
+                rec,
+                baseline_records,
+                metrics=metrics,
+                tolerance=tolerance,
+                window=window,
+                ignore_machine=ignore_machine,
+            )
+        )
+    return verdicts
+
+
+def render_verdicts(verdicts: Sequence[Verdict]) -> str:
+    """The ``perf compare`` text output: one line per verdict + tally."""
+    lines = [v.describe() for v in verdicts]
+    n_fail = sum(v.failed for v in verdicts)
+    counts: Dict[str, int] = {}
+    for v in verdicts:
+        counts[v.status] = counts.get(v.status, 0) + 1
+    tally = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    lines.append(
+        f"{'FAIL' if n_fail else 'PASS'}: {len(verdicts)} checks ({tally})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,248 @@
+"""The perf-trend HTML dashboard: metric-over-commits, per scenario.
+
+One self-contained page (inline SVG + CSS, zero external resources,
+byte-stable for golden tests — the same rendering contract as
+:mod:`repro.campaign.html`, whose document shell and table helpers
+this reuses).  Structure:
+
+* header tiles — scenarios / records / commits / machines in the
+  history;
+* one section per scenario hash, in first-appearance order: the
+  parameter set, a line chart per gated metric with the **commit SHA
+  on the x axis**, and a sparkline table covering every metric the
+  records carry (min/median/last at a glance);
+* an optional verdicts table when the caller just ran ``perf compare``
+  — regressions render in the same ``delta-reg`` red the campaign
+  diff uses.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.html import _cell, _document, _sortable_table, esc
+from repro.campaign.svg import fmt_value, line_chart
+from repro.perf.record import PerfRecord
+from repro.perf.regress import DEFAULT_GATED_METRICS, Verdict, metric_direction
+
+#: sparkline geometry (kept tiny: it is a table cell, not a chart)
+_SPARK_W, _SPARK_H = 120, 26
+
+
+def _sparkline(values: Sequence[Optional[float]]) -> str:
+    """A minimal inline polyline over the finite values (no axes)."""
+    points = [
+        (i, v)
+        for i, v in enumerate(values)
+        if v is not None and math.isfinite(v)
+    ]
+    if len(points) < 2:
+        return '<span class="note">-</span>'
+    lo = min(v for _i, v in points)
+    hi = max(v for _i, v in points)
+    span = (hi - lo) or 1.0
+    n = len(values) - 1 or 1
+    path = " ".join(
+        f"{2 + i / n * (_SPARK_W - 4):.1f},"
+        f"{_SPARK_H - 3 - (v - lo) / span * (_SPARK_H - 6):.1f}"
+        for i, v in points
+    )
+    last_x, last_y = path.rsplit(" ", 1)[-1].split(",")
+    return (
+        f'<svg class="viz" width="{_SPARK_W}" height="{_SPARK_H}" '
+        f'viewBox="0 0 {_SPARK_W} {_SPARK_H}" role="img">'
+        f'<polyline points="{path}" fill="none" '
+        'stroke="var(--series-1)" stroke-width="1.5" '
+        'stroke-linejoin="round"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="2.5" '
+        'fill="var(--series-1)"/></svg>'
+    )
+
+
+def _group(
+    records: Sequence[PerfRecord],
+) -> Dict[str, List[PerfRecord]]:
+    """Records per scenario hash, preserving append order throughout."""
+    groups: Dict[str, List[PerfRecord]] = {}
+    for rec in records:
+        groups.setdefault(rec.scenario_hash, []).append(rec)
+    return groups
+
+
+def _commit_labels(group: Sequence[PerfRecord]) -> List[str]:
+    """Git SHAs as x labels, disambiguated when one SHA repeats."""
+    counts: Dict[str, int] = {}
+    labels = []
+    for rec in group:
+        n = counts.get(rec.git_sha, 0)
+        counts[rec.git_sha] = n + 1
+        labels.append(rec.git_sha if n == 0 else f"{rec.git_sha}+{n}")
+    return labels
+
+
+def _tiles(records: Sequence[PerfRecord]) -> str:
+    groups = _group(records)
+    commits = {r.git_sha for r in records}
+    machines = {tuple(sorted(r.machine.items())) for r in records}
+    tiles = (
+        ("scenarios", str(len(groups))),
+        ("records", str(len(records))),
+        ("commits", str(len(commits))),
+        ("machines", str(len(machines))),
+    )
+    return '<div class="tiles">' + "".join(
+        f'<div class="tile"><div class="label">{esc(label)}</div>'
+        f'<div class="value">{esc(value)}</div></div>'
+        for label, value in tiles
+    ) + "</div>"
+
+
+def _metric_names(group: Sequence[PerfRecord]) -> List[str]:
+    """Every metric in the group: gated ones first, the rest sorted."""
+    seen = set()
+    for rec in group:
+        seen.update(rec.metrics)
+    ordered = [m for m in DEFAULT_GATED_METRICS if m in seen]
+    ordered.extend(sorted(seen - set(ordered)))
+    return ordered
+
+
+def _series(
+    group: Sequence[PerfRecord], metric: str
+) -> List[Optional[float]]:
+    out = []
+    for rec in group:
+        value = rec.metrics.get(metric)
+        out.append(
+            value if value is not None and math.isfinite(value) else None
+        )
+    return out
+
+
+def _scenario_section(group: List[PerfRecord]) -> str:
+    head = group[0]
+    labels = _commit_labels(group)
+    params = " · ".join(
+        f"<code>{esc(k)}</code>={esc(v)}"
+        for k, v in sorted(head.params.items())
+    ) or "<code>(no params)</code>"
+    parts = [
+        f"<h2>{esc(head.scenario)} "
+        f'<span class="note">({esc(head.scenario_hash)})</span></h2>'
+        f'<p class="axes">{params}</p>'
+    ]
+    metric_names = _metric_names(group)
+    for metric in metric_names:
+        if metric not in DEFAULT_GATED_METRICS:
+            continue
+        values = _series(group, metric)
+        if not any(v is not None for v in values):
+            continue
+        parts.append(
+            '<div class="chart-card">'
+            + line_chart(
+                labels,
+                [(metric, values)],
+                title=(
+                    f"{head.scenario}: {metric} "
+                    f"({metric_direction(metric)} is better)"
+                ),
+                width=760,
+                height=230,
+                embed_style=False,
+                x_label="commit",
+            )
+            + "</div>"
+        )
+    rows = []
+    for metric in metric_names:
+        values = _series(group, metric)
+        finite = [v for v in values if v is not None]
+        if not finite:
+            continue
+        rows.append(
+            [
+                f"<td><code>{esc(metric)}</code></td>",
+                _cell(min(finite)),
+                _cell(statistics.median(finite)),
+                _cell(finite[-1]),
+                f"<td>{_sparkline(values)}</td>",
+            ]
+        )
+    parts.append(
+        _sortable_table(
+            [
+                ("metric", False),
+                ("min", True),
+                ("median", True),
+                ("last", True),
+                ("trend", False),
+            ],
+            rows,
+        )
+    )
+    return "".join(parts)
+
+
+def _verdicts_section(verdicts: Sequence[Verdict]) -> str:
+    rows = []
+    for v in verdicts:
+        css = {"regression": "delta-reg", "improvement": "delta-imp"}.get(
+            v.status, ""
+        )
+        status = (
+            f'<td><span class="{css}">{esc(v.status)}</span></td>'
+            if css
+            else f"<td>{esc(v.status)}</td>"
+        )
+        rows.append(
+            [
+                f"<td>{esc(v.scenario)}</td>",
+                f"<td><code>{esc(v.metric)}</code></td>",
+                status,
+                _cell(v.current) if v.current is not None else "<td>-</td>",
+                _cell(v.baseline) if v.baseline is not None else "<td>-</td>",
+                (
+                    f'<td class="num">{fmt_value(v.ratio)}x</td>'
+                    if v.ratio is not None and math.isfinite(v.ratio)
+                    else "<td>-</td>"
+                ),
+            ]
+        )
+    return "<h2>Latest compare</h2>" + _sortable_table(
+        [
+            ("scenario", False),
+            ("metric", False),
+            ("status", False),
+            ("current", True),
+            ("baseline median", True),
+            ("ratio", True),
+        ],
+        rows,
+    )
+
+
+def render_perf_html(
+    records: Sequence[PerfRecord],
+    verdicts: Optional[Sequence[Verdict]] = None,
+    title: str = "Performance trend",
+) -> str:
+    """Render the perf history (+ optional verdicts) as one HTML page."""
+    body = [
+        f"<h1>{esc(title)}</h1>"
+        '<p class="subtitle">perf observatory — generated offline by '
+        "<code>repro-hybrid perf report --html</code></p>",
+        _tiles(records),
+    ]
+    if verdicts:
+        body.append(_verdicts_section(verdicts))
+    for group in _group(records).values():
+        body.append(_scenario_section(group))
+    if not records:
+        body.append(
+            '<p class="note">(empty history — run '
+            "<code>repro-hybrid perf run</code> first)</p>"
+        )
+    return _document(title, "".join(body))

@@ -1,0 +1,226 @@
+"""Named, parameterized perf scenarios for ``perf run`` and the bench fleet.
+
+A scenario is a *factory*: ``make(params) -> Callable[[], dict]``.  The
+factory does all setup (job synthesis, record synthesis) outside the
+timed region; the returned thunk is what the harness times, and its
+returned mapping of numeric totals (events processed, passes, output
+bytes) is merged into the perf record so rates like ``events_per_s``
+can be derived.
+
+Parameters are part of the record's content-addressed scenario hash
+(:func:`repro.perf.record.scenario_hash`), so ``sim_core`` at 1k jobs
+and ``sim_core`` at 100k jobs are separate trend lines that never get
+compared against each other.
+
+``synth_jobs`` lives here (moved from ``benchmarks/bench_sim_core.py``)
+because both the benchmark fleet and the CLI need the same canonical
+near-saturated workload — one definition, one hash.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+#: the canonical benchmark machine (Theta-like, §IV-B scale)
+SYSTEM = 4096
+
+Scenario = Callable[[], Dict[str, float]]
+
+
+def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
+    """A near-saturated stream of small jobs (big running set).
+
+    Sizes 1-3 on 4096 nodes with ~2.5 h runtimes keep thousands of jobs
+    running at once: exactly the regime where the seed's per-pass
+    rebuild (O(running log running) sort per event batch) dominated.
+    5% of jobs are on-demand with accurate advance notice, 15%
+    malleable — so reservations, loans, shrinks, and the resulting
+    stale events all appear at scale.
+    """
+    from repro.jobs.job import Job, JobType, NoticeClass
+    from repro.util.rng import RngStreams
+
+    rng = RngStreams(seed).get("bench-sim-core")
+    avg_size, avg_runtime = 2.0, 9000.0
+    rate = load * SYSTEM / (avg_size * avg_runtime)
+    jobs, t = [], 0.0
+    for i in range(n_jobs):
+        t += float(rng.exponential(1.0 / rate))
+        u = float(rng.uniform())
+        size = int(rng.integers(1, 4))
+        runtime = float(rng.uniform(6_000.0, 12_000.0))
+        estimate = runtime * float(rng.uniform(1.0, 1.5))
+        if u < 0.05:
+            lead = float(rng.uniform(900.0, 1_800.0))
+            jobs.append(
+                Job(
+                    job_id=i,
+                    job_type=JobType.ONDEMAND,
+                    submit_time=t,
+                    size=min(size * 4, 64),
+                    runtime=runtime / 10,
+                    estimate=estimate / 10,
+                    notice_class=NoticeClass.ACCURATE,
+                    notice_time=max(0.0, t - lead),
+                    estimated_arrival=t,
+                )
+            )
+        elif u < 0.20:
+            jobs.append(
+                Job(
+                    job_id=i,
+                    job_type=JobType.MALLEABLE,
+                    submit_time=t,
+                    size=size,
+                    min_size=1,
+                    runtime=runtime,
+                    estimate=estimate,
+                )
+            )
+        else:
+            jobs.append(
+                Job(
+                    job_id=i,
+                    job_type=JobType.RIGID,
+                    submit_time=t,
+                    size=size,
+                    runtime=runtime,
+                    estimate=estimate,
+                )
+            )
+    return jobs
+
+
+def bench_sim_config(
+    force_full_replan: bool = False, backfill_mode: str = "easy"
+):
+    """The standard benchmark simulator config (checkpointing off)."""
+    from repro.jobs.checkpoint import CheckpointModel
+    from repro.sim.config import SimConfig
+
+    return SimConfig(
+        system_size=SYSTEM,
+        checkpoint=CheckpointModel.disabled(),
+        backfill_mode=backfill_mode,
+        backfill_depth=16,
+        force_full_replan=force_full_replan,
+    )
+
+
+def make_sim_core(params: Mapping[str, Any]) -> Scenario:
+    """One simulator run of the near-saturated synthetic stream.
+
+    Params: ``n_jobs`` (default 1000), ``backfill`` (easy/conservative),
+    ``mechanism`` (e.g. ``CUA&SPAA``; empty = baseline),
+    ``full_replan`` (0/1), ``seed``, ``load``.
+    """
+    from repro.core.mechanisms import Mechanism
+    from repro.sim.simulator import Simulation
+    from repro.workload.trace import clone_jobs
+
+    n_jobs = int(params.get("n_jobs", 1000))
+    jobs = synth_jobs(
+        n_jobs,
+        seed=int(params.get("seed", 2022)),
+        load=float(params.get("load", 0.95)),
+    )
+    config = bench_sim_config(
+        force_full_replan=bool(int(params.get("full_replan", 0))),
+        backfill_mode=str(params.get("backfill", "easy")),
+    )
+    mech_name = str(params.get("mechanism", "") or "")
+    mech = Mechanism.parse(mech_name) if mech_name else None
+
+    def run() -> Dict[str, float]:
+        result = Simulation(clone_jobs(jobs), config, mech).run()
+        return {
+            "events_processed": float(result.events_processed),
+            "schedule_passes": float(result.schedule_passes),
+            "passes_skipped": float(result.passes_skipped),
+        }
+
+    return run
+
+
+def make_html_report(params: Mapping[str, Any]) -> Scenario:
+    """Render a synthetic n-record campaign report (pivot + charts).
+
+    Params: ``n_records`` (default 2000).
+    """
+    from repro.campaign.html import render_campaign_html
+
+    n_records = int(params.get("n_records", 2000))
+    records = synth_campaign_records(n_records)
+
+    def run() -> Dict[str, float]:
+        document = render_campaign_html(
+            records, by=("notice_mix", "mechanism")
+        )
+        return {
+            "records": float(n_records),
+            "html_bytes": float(len(document)),
+        }
+
+    return run
+
+
+def synth_campaign_records(n: int, backfill: str = "easy"):
+    """Deterministic synthetic cell records for report-path scenarios."""
+    from repro.campaign.store import CellRecord
+    from repro.metrics.summary import SummaryMetrics
+
+    base = dict(
+        mechanism=None, n_jobs=10, n_rigid=5, n_malleable=3, n_ondemand=2,
+        n_noshow=0, avg_turnaround_h=4.0, avg_turnaround_rigid_h=5.0,
+        avg_turnaround_malleable_h=3.0, avg_turnaround_ondemand_h=1.0,
+        instant_start_rate=0.5, avg_ondemand_delay_s=30.0,
+        preemption_ratio_rigid=0.1, preemption_ratio_malleable=0.2,
+        shrink_ratio_malleable=0.0, system_utilization=0.8,
+        allocated_frac=0.8, lost_compute_frac=0.0, wasted_setup_frac=0.0,
+        checkpoint_frac=0.0, reserved_idle_frac=0.0,
+        decision_latency_p50_s=0.001, decision_latency_max_s=0.01,
+        makespan_h=48.0, lease_resumes=0, lease_expands=0,
+    )
+    mechanisms = (None, "N&PAA", "N&SPAA", "CUA&PAA", "CUA&SPAA")
+    mixes = ("W1", "W2", "W3", "W4", "W5")
+    records = []
+    for i in range(n):
+        mechanism = mechanisms[i % len(mechanisms)]
+        summary = SummaryMetrics(
+            **{
+                **base,
+                "mechanism": mechanism,
+                "avg_turnaround_h": 4.0 + (i % 97) * 0.01,
+                "system_utilization": 0.7 + (i % 29) * 0.01,
+            }
+        ).to_dict()
+        records.append(
+            CellRecord(
+                key=f"{backfill}-{i:06d}",
+                config={
+                    "days": float(7 * (1 + i % 3)),
+                    "target_load": 0.6,
+                    "system_size": 512,
+                    "notice_mix": mixes[(i // 5) % len(mixes)],
+                    "mechanism": mechanism,
+                    "backfill_mode": backfill,
+                    "checkpoint_multiplier": 1.0,
+                    "failure_mtbf_days": 0.0,
+                    "seed": i // 25,
+                    "kind": "sim",
+                    "spec_overrides": {},
+                    "sim_overrides": {},
+                },
+                status="ok" if i % 200 else "error",
+                summary=summary if i % 200 else None,
+                error=None if i % 200 else "Traceback\nValueError: boom",
+                elapsed_s=1.0,
+            )
+        )
+    return records
+
+
+SCENARIOS: Dict[str, Callable[[Mapping[str, Any]], Scenario]] = {
+    "sim_core": make_sim_core,
+    "html_report": make_html_report,
+}

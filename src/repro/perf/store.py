@@ -1,0 +1,103 @@
+"""PerfStore: append-only JSONL history of perf records.
+
+Same durability discipline as :class:`repro.campaign.store.ResultStore`:
+one record per line, appends go through ``O_APPEND`` + flush + fsync so
+concurrent benchmark processes interleave whole lines, and loading
+tolerates a torn final line (a reader racing a writer sees a clean
+prefix, never an exception).  Unparsable interior lines are counted and
+skipped — a corrupt record must not take the whole history with it.
+
+There is no index and no compaction: perf histories grow by a handful
+of records per CI run, so a linear scan is microseconds for years of
+data.  Ordering is file order, which for a single history file is
+append (and therefore commit) order — that ordering is what
+``latest_baseline`` and the trend charts rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.perf.record import PerfRecord, canonical_json
+
+
+class PerfStore:
+    """One JSONL file of :class:`PerfRecord` lines."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = os.fspath(path)
+        #: lines the last load() skipped because they failed to parse
+        self.n_bad_lines = 0
+
+    def append(self, record: PerfRecord) -> PerfRecord:
+        """Atomically append one record (whole line, flushed, fsynced)."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        line = canonical_json(record.to_dict()) + "\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return record
+
+    def load(self) -> List[PerfRecord]:
+        """Every parseable record, in file (= append) order."""
+        self.n_bad_lines = 0
+        records: List[PerfRecord] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return records
+        lines = data.split("\n")
+        # a writer mid-append leaves a torn tail with no newline; it is
+        # the next reader's clean prefix, not an error
+        torn_tail = lines.pop() if lines and lines[-1] else None
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                records.append(PerfRecord.from_dict(json.loads(line)))
+            except (ValueError, TypeError, KeyError):
+                self.n_bad_lines += 1
+        if torn_tail is not None:
+            try:
+                records.append(PerfRecord.from_dict(json.loads(torn_tail)))
+            except (ValueError, TypeError, KeyError):
+                pass  # genuinely torn — silently part of the next append
+        return records
+
+    def filter(
+        self,
+        scenario: Optional[str] = None,
+        scenario_hash: Optional[str] = None,
+        machine: Optional[Dict[str, Any]] = None,
+        predicate: Optional[Callable[[PerfRecord], bool]] = None,
+    ) -> List[PerfRecord]:
+        """Records matching every given constraint, in append order."""
+        out = []
+        for rec in self.load():
+            if scenario is not None and rec.scenario != scenario:
+                continue
+            if scenario_hash is not None and rec.scenario_hash != scenario_hash:
+                continue
+            if machine is not None and rec.machine != machine:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def latest_baseline(
+        self,
+        scenario_hash: str,
+        n: int = 5,
+        machine: Optional[Dict[str, Any]] = None,
+    ) -> List[PerfRecord]:
+        """The last *n* records for a scenario hash (oldest first) —
+        the rolling-median window the regression engine judges against."""
+        matching = self.filter(scenario_hash=scenario_hash, machine=machine)
+        return matching[-n:] if n > 0 else matching

@@ -829,7 +829,8 @@ class Simulation:
                 p["od_id"]
             ),
         }
-        with self._obs.span("sim.run", jobs=len(self.jobs)):
+        with self._obs.span("sim.run", jobs=len(self.jobs)), \
+                self._obs.memory.section("sim.run"):
             while len(self.equeue):
                 batch = self.equeue.pop_batch()
                 now = self.now

@@ -85,6 +85,7 @@ class TestCliSnippetsParse:
             make_campaign_parser,
             make_obs_parser,
             make_parser,
+            make_perf_parser,
         )
 
         snippets = cli_snippets((ROOT / doc).read_text())
@@ -96,6 +97,8 @@ class TestCliSnippetsParse:
                     make_campaign_parser().parse_args(argv[1:])
                 elif argv and argv[0] == "obs":
                     make_obs_parser().parse_args(argv[1:])
+                elif argv and argv[0] == "perf":
+                    make_perf_parser().parse_args(argv[1:])
                 else:
                     make_parser().parse_args(argv)
             except SystemExit as exc:  # argparse rejected the snippet
