@@ -24,8 +24,10 @@ comparable trajectory.  The workload itself
 ``repro-hybrid perf`` CLI — one definition, one scenario hash.
 
 ``REPRO_BENCH_PROFILE=0`` skips the cProfile artifact of the 10k run;
-``REPRO_BENCH_MEMORY_JOBS`` scales the memory-ceiling scenario
-(default 100k jobs, ~1 min with the tracemalloc pass).
+``REPRO_BENCH_MEMORY_JOBS`` scales the materialized memory-ceiling
+scenario (default 100k jobs, ~1 min with the tracemalloc pass);
+``REPRO_BENCH_STREAM_JOBS`` scales the streamed one (default 1M jobs,
+~8 min — the generator-backed path's headline scale).
 """
 
 import cProfile
@@ -34,14 +36,20 @@ import pstats
 import time
 
 from repro.core.mechanisms import Mechanism
+from repro.metrics.breakdown import ondemand_by_notice_class, waste_by_type
 from repro.metrics.report import format_table
-from repro.metrics.summary import replan_invariant_view, summarize
+from repro.metrics.summary import (
+    deterministic_view,
+    replan_invariant_view,
+    summarize,
+)
 from repro.perf.harness import bench, measure
 from repro.perf.record import PerfRecord, canonical_json, current_git_sha
 from repro.perf.scenarios import (
     SYSTEM,
     bench_sim_config as _config,
     make_sim_core,
+    stream_synth_jobs,
     synth_jobs,
 )
 from repro.sim.simulator import Simulation
@@ -62,6 +70,18 @@ MEMORY_JOBS = int(os.environ.get("REPRO_BENCH_MEMORY_JOBS", "100000"))
 #: enough to catch a per-job copy sneaking into the hot loop
 MEMORY_CEILING_BYTES_PER_JOB = 1280
 MEMORY_CEILING_FLOOR_BYTES = 16 * 1024 * 1024
+
+#: streamed (generator-backed) scenario scale — the million-job target
+STREAM_JOBS = int(os.environ.get("REPRO_BENCH_STREAM_JOBS", "1000000"))
+#: *absolute* heap ceiling for streamed runs, independent of trace
+#: length: memory is O(in-flight jobs), and the near-saturated synth
+#: stream keeps ~2k jobs in flight regardless of n_jobs.  Measured
+#: peak is ~4.3 MiB at 100k and ~5.4 MiB at 1M — flat, with >10x
+#: headroom under the 64 MiB bound the ROADMAP item asks for.
+STREAM_MEMORY_CEILING_BYTES = 64 * 2**20
+#: time floor for the streamed path — the laziness must not cost
+#: throughput (measured ~24k events/s; CI runners get wide headroom)
+STREAM_EVENTS_PER_S_FLOOR = 4_000.0
 
 
 def _run(jobs, config, mech_name):
@@ -334,6 +354,108 @@ def test_memory_ceiling_100k(emit, perf_store):  # noqa: F811
         f"python-heap peak {peak / 2**20:.1f} MiB exceeds the "
         f"{ceiling / 2**20:.0f} MiB ceiling at {MEMORY_JOBS} jobs — "
         "something started scaling with the trace, not the active set"
+    )
+
+
+def test_streamed_differential_10k(emit):  # noqa: F811
+    """Streamed == materialized, byte for byte, at 10k jobs.
+
+    The generator-backed path retires jobs at completion and keeps only
+    the streaming accumulator; this asserts that the summaries (and the
+    notice-class / waste breakdowns) it produces are *byte-identical*
+    to a materialized run of the same workload — same canonical JSON,
+    not merely close — for the baseline and the full CUA&SPAA stack.
+    """
+    config = _config(False)
+    rows = []
+    for mech_name in MECHANISMS:
+        mech = Mechanism.parse(mech_name) if mech_name else None
+        mat = Simulation(
+            synth_jobs(ASSERT_AT), config, mech
+        ).run()
+        st = Simulation(
+            stream_synth_jobs(ASSERT_AT), config, mech
+        ).run()
+        assert st.jobs == [], "streamed run must not retain the trace"
+
+        def view(result):
+            return canonical_json(
+                {
+                    "summary": deterministic_view(summarize(result)),
+                    "by_notice": [
+                        vars(o) for o in ondemand_by_notice_class(result)
+                    ],
+                    "waste": waste_by_type(result),
+                }
+            ).encode()
+
+        mat_bytes, st_bytes = view(mat), view(st)
+        assert mat_bytes == st_bytes, (
+            f"streamed summary diverged from materialized at "
+            f"{ASSERT_AT} jobs, mech={mech_name or 'baseline'}"
+        )
+        rows.append(
+            [mech_name or "baseline", len(mat_bytes), "identical"]
+        )
+    emit(
+        "bench_sim_core_streamed_differential",
+        format_table(
+            ["mechanism", "summary bytes", "streamed vs materialized"],
+            rows,
+            title=f"Streamed differential at {ASSERT_AT} jobs",
+        ),
+    )
+
+
+def _streamed_memory_run(n_jobs, emit, perf_store, label):
+    params = {"n_jobs": n_jobs, "stream": 1}
+    record = bench(
+        "sim_core",
+        params,
+        make_sim_core(params),
+        store=perf_store,
+        warmup=0,
+        repeat=1,
+        memory=True,
+    )
+    peak = record.metrics["tracemalloc_peak_bytes"]
+    rate = record.metrics.get("events_per_s", 0.0)
+    emit(
+        label,
+        (
+            f"streamed memory ceiling, {n_jobs} jobs: tracemalloc peak "
+            f"{peak / 2**20:.1f} MiB "
+            f"(ceiling {STREAM_MEMORY_CEILING_BYTES / 2**20:.0f} MiB "
+            f"absolute — O(in-flight), not O(trace)), "
+            f"peak RSS {record.metrics['peak_rss_bytes'] / 2**20:.0f} MiB, "
+            f"wall {record.metrics['wall_time_s']:.1f}s, "
+            f"{rate:.0f} events/s (floor {STREAM_EVENTS_PER_S_FLOOR:.0f})"
+        ),
+    )
+    assert peak < STREAM_MEMORY_CEILING_BYTES, (
+        f"streamed python-heap peak {peak / 2**20:.1f} MiB exceeds the "
+        f"{STREAM_MEMORY_CEILING_BYTES / 2**20:.0f} MiB absolute ceiling "
+        f"at {n_jobs} jobs — something is scaling with the trace"
+    )
+    assert rate >= STREAM_EVENTS_PER_S_FLOOR, (
+        f"streamed run at {rate:.0f} events/s is below the "
+        f"{STREAM_EVENTS_PER_S_FLOOR:.0f}/s floor at {n_jobs} jobs"
+    )
+
+
+def test_streamed_memory_ceiling_100k(emit, perf_store):  # noqa: F811
+    """Streamed 100k: absolute ceiling, not per-job — unlike the
+    materialized scenario above, the bound must not grow with n_jobs."""
+    _streamed_memory_run(
+        100_000, emit, perf_store, "bench_sim_core_streamed_100k"
+    )
+
+
+def test_streamed_memory_ceiling_1m(emit, perf_store):  # noqa: F811
+    """The million-job scenario: the same absolute ceiling at 10x the
+    trace length (REPRO_BENCH_STREAM_JOBS scales it for smoke runs)."""
+    _streamed_memory_run(
+        STREAM_JOBS, emit, perf_store, "bench_sim_core_streamed_1m"
     )
 
 

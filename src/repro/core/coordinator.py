@@ -73,7 +73,7 @@ class SimulatorOps(Protocol):
 
     def push_reservation_timeout(self, fire: float, od_id: int) -> None: ...
 
-    def lookup_job(self, job_id: int) -> Job: ...
+    def lookup_job(self, job_id: int) -> Optional[Job]: ...
 
     def mark_sched_dirty(self) -> None: ...
 
@@ -206,7 +206,8 @@ class HybridCoordinator:
             return
         plan.cancelled = True
         victim = self.ops.lookup_job(victim_job_id)
-        if victim.state is not JobState.RUNNING:
+        if victim is None or victim.state is not JobState.RUNNING:
+            # retired from a streamed run's window, or no longer running
             return
         room = res.need - res.held - sum(res.loans.values())
         if room <= 0:
@@ -309,7 +310,7 @@ class HybridCoordinator:
             if res.held >= res.need:
                 break
             job = self.ops.lookup_job(borrower)
-            if job.state is not JobState.RUNNING or job.is_ondemand:
+            if job is None or job.state is not JobState.RUNNING or job.is_ondemand:
                 # On-demand jobs are never preempted; the planner never
                 # loans them reserved nodes, so this is pure defence.
                 continue
@@ -443,6 +444,10 @@ class HybridCoordinator:
         self.book.deactivate(job.job_id)
         for lease in self.ledger.settle(job.job_id):
             lender = self.ops.lookup_job(lease.lender_job_id)
+            if lender is None:
+                # lender already completed (and, in a streamed run, was
+                # retired): its returned nodes simply melt into the pool
+                continue
             if lender.state is JobState.QUEUED and lender.stats.preemptions > 0:
                 usable = self.ops.usable_free()
                 if usable >= lender.smallest_size:

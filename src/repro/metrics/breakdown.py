@@ -12,9 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.jobs.job import Job, JobType, NoticeClass
-from repro.sim.simulator import SimulationResult
 from repro.util.timeconst import HOUR
+
+if TYPE_CHECKING:  # runtime import would be circular: the simulator
+    # imports the accumulator module, which lives in this package
+    from repro.sim.simulator import SimulationResult
 
 #: sparkline glyphs from empty to full
 _SPARK = " .:-=+*#%@"
@@ -34,7 +39,40 @@ class NoticeClassOutcome:
 def ondemand_by_notice_class(
     result: SimulationResult, instant_threshold_s: float = 60.0
 ) -> List[NoticeClassOutcome]:
-    """Split the on-demand metrics by notice class (arrived jobs only)."""
+    """Split the on-demand metrics by notice class (arrived jobs only).
+
+    Accumulator-backed results (every simulator run) are read from the
+    streaming funnel's per-notice-class cells; the per-job grouping
+    below serves hand-built results and mismatched thresholds (not
+    possible for streamed runs, which carry no job list).
+    """
+    acc = result.accumulator
+    if acc is not None and abs(
+        acc.instant_threshold_s - instant_threshold_s
+    ) <= 1e-12:
+        out = []
+        for cls in NoticeClass:
+            g = acc.by_notice[cls]
+            out.append(
+                NoticeClassOutcome(
+                    notice_class=cls.value,
+                    count=g.count,
+                    instant_rate=(g.instant / g.count) if g.count else 0.0,
+                    avg_delay_s=(
+                        g.delay.total / g.delay.count if g.delay.count else 0.0
+                    ),
+                    avg_turnaround_h=(
+                        g.turnaround.total / g.count / HOUR if g.count else 0.0
+                    ),
+                )
+            )
+        return out
+    if acc is not None and not result.jobs and acc.n_jobs:
+        raise ValueError(
+            "streamed result has no per-job list; call "
+            "ondemand_by_notice_class with "
+            f"instant_threshold_s={acc.instant_threshold_s}"
+        )
     groups: Dict[NoticeClass, List[Job]] = {c: [] for c in NoticeClass}
     for j in result.jobs:
         if j.is_ondemand and not j.no_show:
@@ -67,6 +105,17 @@ def ondemand_by_notice_class(
 
 def waste_by_type(result: SimulationResult) -> Dict[str, Dict[str, float]]:
     """Node-hour waste decomposition per job type."""
+    acc = result.accumulator
+    if acc is not None:
+        return {
+            t.value: {
+                "lost_compute_node_h": g.lost_ns / HOUR,
+                "wasted_setup_node_h": g.wasted_setup_ns / HOUR,
+                "checkpoint_node_h": g.checkpoint_ns / HOUR,
+                "preemptions": float(g.preemptions),
+            }
+            for t, g in ((t, acc.by_type[t]) for t in JobType)
+        }
     out: Dict[str, Dict[str, float]] = {}
     for jtype in JobType:
         jobs = [
@@ -98,7 +147,15 @@ def utilization_series(
     Rebuilt from the exact per-segment records the simulator keeps
     (preemption gaps contribute nothing); node counts within a segment
     are the segment's mean, so a resize mid-segment is averaged.
+    Requires a materialized run: streamed results retire jobs (and
+    their segment records) at completion.
     """
+    acc = result.accumulator
+    if not result.jobs and acc is not None and acc.n_jobs:
+        raise ValueError(
+            "utilization_series needs per-job segment records; run the "
+            "simulation with a materialized job list"
+        )
     horizon = result.last_end
     if horizon <= 0:
         return []

@@ -7,9 +7,15 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.jobs.job import Job, JobType
-from repro.sim.simulator import SimulationResult
+from repro.metrics.accumulators import SummaryAccumulator
 from repro.util.timeconst import HOUR
+
+if TYPE_CHECKING:  # runtime import would be circular: the simulator
+    # imports the accumulator module, which lives in this package
+    from repro.sim.simulator import SimulationResult
 
 
 @dataclass(frozen=True)
@@ -184,7 +190,25 @@ def summarize(
     starts in this model happen at the arrival instant (delay 0), so any
     small threshold gives identical rates — it exists to stay robust if a
     future mechanism staged starts by a bounded warning window.
+
+    Results carrying a :class:`~repro.metrics.accumulators.SummaryAccumulator`
+    (every simulator run since the streaming core landed) are summarised
+    from its O(1) group cells — the only option for streamed runs, whose
+    ``jobs`` list is empty.  The legacy per-job grouping below remains
+    for hand-built results (unit tests, stored-result tooling) and for a
+    threshold that differs from the one the accumulator was fed with.
     """
+    acc = result.accumulator
+    if acc is not None and math.isclose(
+        acc.instant_threshold_s, instant_threshold_s, abs_tol=1e-12
+    ):
+        return _summarize_accumulated(result, acc)
+    if acc is not None and not result.jobs and (acc.n_jobs or acc.n_noshow):
+        raise ValueError(
+            "streamed result has no per-job list; call summarize with "
+            f"instant_threshold_s={acc.instant_threshold_s} (the value "
+            "the simulation's accumulator was configured with)"
+        )
     noshows = [j for j in result.jobs if j.no_show]
     jobs = [j for j in result.jobs if not j.no_show]
     by_type: Dict[JobType, List[Job]] = {t: [] for t in JobType}
@@ -231,6 +255,75 @@ def summarize(
             sum(1 for j in malleable if j.stats.shrinks > 0) / len(malleable)
             if malleable
             else 0.0
+        ),
+        system_utilization=max(0.0, (allocated - lost - wasted_setup))
+        / capacity,
+        allocated_frac=allocated / capacity,
+        lost_compute_frac=lost / capacity,
+        wasted_setup_frac=wasted_setup / capacity,
+        checkpoint_frac=ckpt / capacity,
+        reserved_idle_frac=result.reserved_idle_node_seconds / capacity,
+        decision_latency_p50_s=result.decision_latency.p50_s,
+        decision_latency_p95_s=result.decision_latency.p95_s,
+        decision_latency_p99_s=result.decision_latency.p99_s,
+        decision_latency_mean_s=result.decision_latency.mean_s,
+        decision_latency_max_s=result.decision_latency.max_s,
+        makespan_h=result.makespan / HOUR,
+        lease_resumes=result.lease_resumes,
+        lease_expands=result.lease_expands,
+        wall_time_s=result.wall_time_s,
+        events_processed=result.events_processed,
+        schedule_passes=result.schedule_passes,
+        passes_skipped=result.passes_skipped,
+    )
+
+
+def _summarize_accumulated(
+    result: SimulationResult, acc: SummaryAccumulator
+) -> SummaryMetrics:
+    """:func:`summarize` from the streaming funnel instead of job lists.
+
+    Field-for-field the same quantities as the legacy grouping; sums are
+    accumulated in job-completion order (the funnel's feed order), which
+    is identical between streamed and materialized runs of one trace —
+    the byte-identity the differential tests assert.
+    """
+    rigid = acc.by_type[JobType.RIGID]
+    malleable = acc.by_type[JobType.MALLEABLE]
+    ondemand = acc.by_type[JobType.ONDEMAND]
+    n_rigid = rigid.turnaround.count
+    n_malleable = malleable.turnaround.count
+    n_ondemand = ondemand.turnaround.count
+
+    capacity = result.system_size * result.horizon
+    allocated = acc.allocated_node_seconds
+    lost = acc.lost_node_seconds
+    wasted_setup = acc.wasted_setup_node_seconds
+    ckpt = acc.checkpoint_node_seconds
+
+    return SummaryMetrics(
+        mechanism=result.mechanism,
+        n_jobs=acc.n_jobs,
+        n_rigid=n_rigid,
+        n_malleable=n_malleable,
+        n_ondemand=n_ondemand,
+        n_noshow=acc.n_noshow,
+        avg_turnaround_h=acc.turnaround_all.mean / HOUR,
+        avg_turnaround_rigid_h=rigid.turnaround.mean / HOUR,
+        avg_turnaround_malleable_h=malleable.turnaround.mean / HOUR,
+        avg_turnaround_ondemand_h=ondemand.turnaround.mean / HOUR,
+        instant_start_rate=(
+            acc.od_instant / n_ondemand if n_ondemand else 0.0
+        ),
+        avg_ondemand_delay_s=acc.od_delay.mean,
+        preemption_ratio_rigid=(
+            rigid.preempted / n_rigid if n_rigid else 0.0
+        ),
+        preemption_ratio_malleable=(
+            malleable.preempted / n_malleable if n_malleable else 0.0
+        ),
+        shrink_ratio_malleable=(
+            malleable.shrunk / n_malleable if n_malleable else 0.0
         ),
         system_utilization=max(0.0, (allocated - lost - wasted_setup))
         / capacity,

@@ -27,8 +27,12 @@ SYSTEM = 4096
 Scenario = Callable[[], Dict[str, float]]
 
 
-def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
-    """A near-saturated stream of small jobs (big running set).
+#: ``submit - notice`` never exceeds the drawn 900–1800 s lead
+SYNTH_NOTICE_HORIZON_S = 1800.0
+
+
+def iter_synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
+    """A near-saturated stream of small jobs (big running set), lazily.
 
     Sizes 1-3 on 4096 nodes with ~2.5 h runtimes keep thousands of jobs
     running at once: exactly the regime where the seed's per-pass
@@ -36,6 +40,11 @@ def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
     5% of jobs are on-demand with accurate advance notice, 15%
     malleable — so reservations, loans, shrinks, and the resulting
     stale events all appear at scale.
+
+    A true generator: draws are strictly sequential per job, so memory
+    is O(1) — this is what lets the million-job ``bench_sim_core``
+    scenarios assert an O(in-flight) simulator ceiling.
+    ``synth_jobs`` materialises the identical stream.
     """
     from repro.jobs.job import Job, JobType, NoticeClass
     from repro.util.rng import RngStreams
@@ -43,7 +52,7 @@ def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
     rng = RngStreams(seed).get("bench-sim-core")
     avg_size, avg_runtime = 2.0, 9000.0
     rate = load * SYSTEM / (avg_size * avg_runtime)
-    jobs, t = [], 0.0
+    t = 0.0
     for i in range(n_jobs):
         t += float(rng.exponential(1.0 / rate))
         u = float(rng.uniform())
@@ -52,43 +61,51 @@ def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
         estimate = runtime * float(rng.uniform(1.0, 1.5))
         if u < 0.05:
             lead = float(rng.uniform(900.0, 1_800.0))
-            jobs.append(
-                Job(
-                    job_id=i,
-                    job_type=JobType.ONDEMAND,
-                    submit_time=t,
-                    size=min(size * 4, 64),
-                    runtime=runtime / 10,
-                    estimate=estimate / 10,
-                    notice_class=NoticeClass.ACCURATE,
-                    notice_time=max(0.0, t - lead),
-                    estimated_arrival=t,
-                )
+            yield Job(
+                job_id=i,
+                job_type=JobType.ONDEMAND,
+                submit_time=t,
+                size=min(size * 4, 64),
+                runtime=runtime / 10,
+                estimate=estimate / 10,
+                notice_class=NoticeClass.ACCURATE,
+                notice_time=max(0.0, t - lead),
+                estimated_arrival=t,
             )
         elif u < 0.20:
-            jobs.append(
-                Job(
-                    job_id=i,
-                    job_type=JobType.MALLEABLE,
-                    submit_time=t,
-                    size=size,
-                    min_size=1,
-                    runtime=runtime,
-                    estimate=estimate,
-                )
+            yield Job(
+                job_id=i,
+                job_type=JobType.MALLEABLE,
+                submit_time=t,
+                size=size,
+                min_size=1,
+                runtime=runtime,
+                estimate=estimate,
             )
         else:
-            jobs.append(
-                Job(
-                    job_id=i,
-                    job_type=JobType.RIGID,
-                    submit_time=t,
-                    size=size,
-                    runtime=runtime,
-                    estimate=estimate,
-                )
+            yield Job(
+                job_id=i,
+                job_type=JobType.RIGID,
+                submit_time=t,
+                size=size,
+                runtime=runtime,
+                estimate=estimate,
             )
-    return jobs
+
+
+def stream_synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
+    """:func:`iter_synth_jobs` wrapped with its notice horizon."""
+    from repro.workload.stream import JobStream
+
+    return JobStream(
+        iter_synth_jobs(n_jobs, seed=seed, load=load),
+        notice_horizon_s=SYNTH_NOTICE_HORIZON_S,
+    )
+
+
+def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
+    """The materialised form of :func:`iter_synth_jobs` (same stream)."""
+    return list(iter_synth_jobs(n_jobs, seed=seed, load=load))
 
 
 def bench_sim_config(
@@ -112,18 +129,21 @@ def make_sim_core(params: Mapping[str, Any]) -> Scenario:
 
     Params: ``n_jobs`` (default 1000), ``backfill`` (easy/conservative),
     ``mechanism`` (e.g. ``CUA&SPAA``; empty = baseline),
-    ``full_replan`` (0/1), ``seed``, ``load``.
+    ``full_replan`` (0/1), ``stream`` (0/1: generator-backed workload +
+    O(in-flight) simulator memory), ``seed``, ``load``.
     """
     from repro.core.mechanisms import Mechanism
     from repro.sim.simulator import Simulation
     from repro.workload.trace import clone_jobs
 
     n_jobs = int(params.get("n_jobs", 1000))
-    jobs = synth_jobs(
-        n_jobs,
-        seed=int(params.get("seed", 2022)),
-        load=float(params.get("load", 0.95)),
-    )
+    seed = int(params.get("seed", 2022))
+    load = float(params.get("load", 0.95))
+    stream = bool(int(params.get("stream", 0)))
+    # streamed runs synthesise jobs lazily *inside* the timed thunk —
+    # holding a materialised copy outside it would defeat the memory
+    # measurement the scenario exists for
+    jobs = None if stream else synth_jobs(n_jobs, seed=seed, load=load)
     config = bench_sim_config(
         force_full_replan=bool(int(params.get("full_replan", 0))),
         backfill_mode=str(params.get("backfill", "easy")),
@@ -132,7 +152,12 @@ def make_sim_core(params: Mapping[str, Any]) -> Scenario:
     mech = Mechanism.parse(mech_name) if mech_name else None
 
     def run() -> Dict[str, float]:
-        result = Simulation(clone_jobs(jobs), config, mech).run()
+        workload = (
+            stream_synth_jobs(n_jobs, seed=seed, load=load)
+            if stream
+            else clone_jobs(jobs)
+        )
+        result = Simulation(workload, config, mech).run()
         return {
             "events_processed": float(result.events_processed),
             "schedule_passes": float(result.schedule_passes),

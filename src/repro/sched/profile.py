@@ -185,6 +185,34 @@ class ProfileView:
         view._static = sorted(blocks)
         return view
 
+    def reset(
+        self, now: float, free: int, overlay: Optional[List[Block]] = None
+    ) -> "ProfileView":
+        """Re-point this view at a new scheduling instant, in place.
+
+        The simulator owns one timeline-backed view (and one overlay
+        list) for the whole run and re-seats it per pass instead of
+        constructing a fresh view — planners never retain the view
+        beyond their ``plan()`` call, so reuse is safe and keeps the
+        hot path allocation-free.  *overlay* is sorted **in place** and
+        adopted without copying.  Not valid on ``from_blocks`` views
+        (the full-replan escape hatch rebuilds those per pass by
+        design).
+        """
+        if self._static is not None:
+            raise InvariantViolation(
+                "reset() on a static-block ProfileView; only "
+                "timeline-backed views are reusable"
+            )
+        self.now = now
+        self.free = free
+        if overlay:
+            overlay.sort()
+            self._overlay = overlay
+        else:
+            self._overlay = overlay if overlay is not None else []
+        return self
+
     # ------------------------------------------------------------------
     def releases(self) -> Iterator[Block]:
         """Future supply steps in ``(release, nodes)`` order."""

@@ -3,10 +3,27 @@
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Dict, List, Optional
 
 from repro.sim.events import Event, EventType
 from repro.util.errors import SimulationError
+
+
+def _batch_tolerance(t: float) -> float:
+    """Same-instant tolerance at simulation time *t*.
+
+    Events meant for the same instant are pushed with times computed by
+    different float expressions, so they can land a few ULPs apart.  A
+    fixed absolute tolerance (the seed used ``1e-9``) silently stops
+    batching them once ``ulp(t)`` exceeds it — beyond ``t ~ 1e8`` s
+    (month-scale SWF offsets live there after a few replayed years) a
+    one-ULP difference split same-instant batches and caused extra
+    scheduling passes.  Scale the tolerance with the clock: a few ULPs
+    at the current magnitude, floored at the seed's ``1e-9`` so
+    behaviour at ordinary trace times is unchanged.
+    """
+    return max(1e-9, 4.0 * math.ulp(t))
 
 
 class EventQueue:
@@ -52,17 +69,28 @@ class EventQueue:
         """The earliest event without removing it, or None if empty."""
         return self._heap[0] if self._heap else None
 
-    def pop_batch(self) -> List[Event]:
+    def pop_batch(self, out: Optional[List[Event]] = None) -> List[Event]:
         """Pop every event sharing the earliest timestamp, in priority order.
 
         The scheduler runs once per batch, after all state changes at that
-        instant have been applied.
+        instant have been applied.  Same-instant grouping uses a
+        ULP-relative tolerance (:func:`_batch_tolerance`) so batches are
+        not split at large simulation times.
+
+        *out*, when given, is cleared and reused as the batch list — the
+        simulator's main loop passes the same list every iteration so the
+        hot path allocates nothing per batch.
         """
+        if out is None:
+            batch: List[Event] = []
+        else:
+            batch = out
+            batch.clear()
         if not self._heap:
-            return []
+            return batch
         t = self._heap[0].time
-        batch: List[Event] = []
-        while self._heap and abs(self._heap[0].time - t) <= 1e-9:
+        tol = _batch_tolerance(t)
+        while self._heap and self._heap[0].time - t <= tol:
             batch.append(self.pop())
         return batch
 

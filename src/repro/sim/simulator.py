@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.core.coordinator import HybridCoordinator
 from repro.obs import get_obs
@@ -38,6 +38,7 @@ from repro.core.mechanisms import Mechanism
 from repro.jobs.job import Job, JobState, JobType, NoticeClass
 from repro.jobs.malleable_exec import MalleableExecution
 from repro.jobs.rigid_exec import RigidExecution, RigidTimeline
+from repro.metrics.accumulators import SummaryAccumulator
 from repro.sched.conservative import ConservativeBackfillPlanner
 from repro.sched.easy import BackfillPlanner
 from repro.sched.fcfs import FcfsPolicy
@@ -46,10 +47,11 @@ from repro.sched.profile import AvailabilityTimeline, ProfileView
 from repro.sim.cluster import Cluster
 from repro.sim.config import SimConfig
 from repro.sim.engine import EventQueue
-from repro.sim.events import EventType
+from repro.sim.events import Event, EventType
 from repro.sim.schedlog import LogKind, SchedulerLog
 from repro.util.errors import ConfigurationError, SimulationError
 from repro.util.rng import RngStreams
+from repro.workload.stream import JobStream, as_stream
 
 Execution = Union[RigidExecution, MalleableExecution]
 
@@ -102,7 +104,14 @@ class LatencyStats:
         ordered = sorted(samples)
 
         def pct(p: float) -> float:
-            return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+            # nearest-rank: the ceil(p*n)-th smallest sample (1-based).
+            # ``int(p * n)`` indexed one past that position whenever
+            # ``p*n`` was integral (p50 of [1,2,3,4] returned 3, not 2);
+            # this matches Histogram.percentile's ``seen >= p*count``
+            # bucket selection, so from_histogram agrees on shared
+            # sample streams.
+            rank = math.ceil(p * len(ordered))
+            return ordered[max(0, min(len(ordered) - 1, rank - 1))]
 
         return cls(
             count=len(ordered),
@@ -153,6 +162,10 @@ class SimulationResult:
     failures_injected: int = 0
     #: populated when SimConfig.log_decisions is set
     log: Optional[SchedulerLog] = None
+    #: the streaming metrics funnel, fed at job completion in both input
+    #: modes; for streamed runs (``jobs == []``) it is the *only* source
+    #: of summary/breakdown metrics
+    accumulator: Optional[SummaryAccumulator] = None
 
     @property
     def horizon(self) -> float:
@@ -165,8 +178,16 @@ class Simulation:
     Parameters
     ----------
     jobs:
-        The workload.  Each job is mutated in place (state + stats), so
-        pass a fresh copy per run (:func:`repro.workload.trace.clone_jobs`).
+        The workload.  A :class:`~repro.workload.stream.JobStream` (or
+        any bare iterator/generator of submit-ordered jobs) selects the
+        **streaming** path: jobs are admitted lazily just ahead of the
+        event clock and retired the moment they complete, so memory is
+        O(in-flight) instead of O(trace) and the result carries an
+        :class:`~repro.metrics.accumulators.SummaryAccumulator` in place
+        of the per-job list.  A materialized sequence preserves the
+        classic behaviour (``result.jobs`` fully populated).  Each job
+        is mutated in place (state + stats), so pass a fresh copy per
+        run (:func:`repro.workload.trace.clone_jobs`).
     config:
         Machine/behaviour knobs; defaults follow §IV-B.
     mechanism:
@@ -178,7 +199,7 @@ class Simulation:
 
     def __init__(
         self,
-        jobs: Sequence[Job],
+        jobs: Union[Sequence[Job], JobStream, Iterable[Job]],
         config: Optional[SimConfig] = None,
         mechanism: Optional[Mechanism] = None,
         policy: Optional[SchedulingPolicy] = None,
@@ -186,9 +207,41 @@ class Simulation:
         self.config = config or SimConfig()
         self.mechanism = mechanism
         self.policy = policy or FcfsPolicy()
-        self.jobs: List[Job] = list(jobs)
-        self._validate_jobs()
-        self.jobs_by_id: Dict[int, Job] = {j.job_id: j for j in self.jobs}
+        if isinstance(jobs, JobStream):
+            stream: Optional[JobStream] = jobs
+        elif isinstance(jobs, Sequence):
+            stream = None
+        else:  # bare generator/iterator: wrap with the default horizon
+            stream = as_stream(jobs)
+        self._streaming = stream is not None
+        #: the job-finish metrics funnel (fed identically in both modes,
+        #: which is what makes streamed and materialized summaries match
+        #: byte for byte)
+        self.metrics = SummaryAccumulator(
+            instant_threshold_s=self.config.instant_threshold_s
+        )
+        if stream is not None:
+            self.jobs: List[Job] = []
+            self.jobs_by_id: Dict[int, Job] = {}
+            self._stream_it: Optional[Iterator[Job]] = iter(stream)
+            # +1 s pad: admission only ever moves *earlier*, and the pad
+            # absorbs producers whose declared horizon is exact-to-the-ULP
+            self._notice_horizon_s = stream.notice_horizon_s + 1.0
+            self._stream_next: Optional[Job] = next(self._stream_it, None)
+        else:
+            self.jobs = list(jobs)
+            self._validate_jobs()
+            self.jobs_by_id = {j.job_id: j for j in self.jobs}
+            self._stream_it = None
+            self._stream_next = None
+            self._notice_horizon_s = 0.0
+        #: streaming-mode bookkeeping that replaces end-of-run scans of
+        #: the (absent) job list
+        self._last_admit_submit = -math.inf
+        self._admit_first_submit = math.inf
+        self._admit_last_end = 0.0
+        self._n_arrivals_admitted = 0
+        self._n_completed = 0
 
         self.equeue = EventQueue()
         self.cluster = Cluster(self.config.system_size)
@@ -243,40 +296,130 @@ class Simulation:
                 "coordinator",
             )
         }
-        self._seed_events()
+        # Hot-path reuse: one batch list, one reservation-overlay list,
+        # and one timeline-backed ProfileView serve the whole run, so
+        # the per-batch loop allocates nothing for its fixed machinery.
+        self._batch: List[Event] = []
+        self._resv_overlay: List = []
+        self._view = ProfileView(0.0, 0, timeline=self.timeline)
+        if not self._streaming:
+            self._seed_events()
 
     # ------------------------------------------------------------------
+    def _validate_job(self, job: Job) -> None:
+        if job.size > self.config.system_size:
+            raise ConfigurationError(
+                f"job {job.job_id} needs {job.size} nodes but the "
+                f"system has {self.config.system_size}"
+            )
+        if job.state is not JobState.PENDING:
+            raise ConfigurationError(
+                f"job {job.job_id} enters the simulation in state "
+                f"{job.state.value}; pass fresh jobs (clone_jobs)"
+            )
+
     def _validate_jobs(self) -> None:
         seen = set()
         for job in self.jobs:
             if job.job_id in seen:
                 raise ConfigurationError(f"duplicate job id {job.job_id}")
             seen.add(job.job_id)
-            if job.size > self.config.system_size:
-                raise ConfigurationError(
-                    f"job {job.job_id} needs {job.size} nodes but the "
-                    f"system has {self.config.system_size}"
-                )
-            if job.state is not JobState.PENDING:
-                raise ConfigurationError(
-                    f"job {job.job_id} enters the simulation in state "
-                    f"{job.state.value}; pass fresh jobs (clone_jobs)"
-                )
+            self._validate_job(job)
+
+    @staticmethod
+    def _is_noticed(job: Job) -> bool:
+        return (
+            job.is_ondemand
+            and job.notice_class is not NoticeClass.NONE
+            and job.notice_time is not None
+        )
 
     def _seed_events(self) -> None:
         for job in self.jobs:
-            if not job.no_show:
+            if job.no_show:
+                self.metrics.observe_noshow(job)
+            else:
                 self.equeue.push(
                     job.submit_time, EventType.JOB_SUBMIT, job_id=job.job_id
                 )
-            if (
-                job.is_ondemand
-                and job.notice_class is not NoticeClass.NONE
-                and job.notice_time is not None
-            ):
+            if self._is_noticed(job):
                 self.equeue.push(
                     job.notice_time, EventType.ADVANCE_NOTICE, job_id=job.job_id
                 )
+
+    # ------------------------------------------------------------------
+    # Streaming admission (generator-backed workloads)
+    # ------------------------------------------------------------------
+    def _pump_stream(self) -> None:
+        """Admit stream jobs whose events could precede the next batch.
+
+        Invariant: a job left *unadmitted* has every event strictly in
+        the future.  The stream is submit-ordered and every notice fires
+        within ``notice_horizon_s`` of its submission, so the next job
+        is safe to defer exactly when ``submit - horizon`` lies beyond
+        the head of the event heap; once that stops holding (or the heap
+        runs dry) the job is admitted, which pushes its events at times
+        no earlier than the head.  Called before each batch pop, this
+        keeps the in-flight window tight without ever scheduling an
+        event in the past.
+        """
+        nxt = self._stream_next
+        if nxt is None:
+            return
+        horizon = self._notice_horizon_s
+        equeue = self.equeue
+        while nxt is not None:
+            front = equeue.peek()
+            if front is not None and nxt.submit_time - horizon > front.time:
+                break
+            self._admit(nxt)
+            nxt = next(self._stream_it, None)
+        self._stream_next = nxt
+
+    def _admit(self, job: Job) -> None:
+        """Bring one streamed job into the in-flight window."""
+        if job.submit_time + EPS < self._last_admit_submit:
+            raise ConfigurationError(
+                f"job stream is not sorted by submit time: job "
+                f"{job.job_id} submits at {job.submit_time} after "
+                f"{self._last_admit_submit}"
+            )
+        if job.submit_time > self._last_admit_submit:
+            self._last_admit_submit = job.submit_time
+        self._validate_job(job)
+        if job.job_id in self.jobs_by_id:
+            raise ConfigurationError(f"duplicate job id {job.job_id}")
+        if job.submit_time < self._admit_first_submit:
+            self._admit_first_submit = job.submit_time
+        noticed = self._is_noticed(job)
+        if job.no_show:
+            self.metrics.observe_noshow(job)
+            if not noticed:
+                return  # pushes no events: nothing to retain
+        else:
+            self._n_arrivals_admitted += 1
+        self.jobs_by_id[job.job_id] = job
+        if not job.no_show:
+            self.equeue.push(
+                job.submit_time, EventType.JOB_SUBMIT, job_id=job.job_id
+            )
+        if noticed:
+            self.equeue.push(
+                job.notice_time, EventType.ADVANCE_NOTICE, job_id=job.job_id
+            )
+
+    def _retire(self, job_id: int) -> None:
+        """Drop a settled job from the in-flight window (streaming only).
+
+        Late references are all benign by construction:
+        :meth:`lookup_job` reports a retired job as ``None`` and every
+        coordinator path treats that as "already done", while stale
+        finish/failure events bounce off the epoch guard before touching
+        ``jobs_by_id``.
+        """
+        self.jobs_by_id.pop(job_id, None)
+        self._executions.pop(job_id, None)
+        self._epochs.pop(job_id, None)
 
     # ------------------------------------------------------------------
     # SimulatorOps surface (driven by the coordinator)
@@ -292,8 +435,16 @@ class Simulation:
     def running_views(self) -> List[RunningJob]:
         return list(self.running.values())
 
-    def lookup_job(self, job_id: int) -> Job:
-        return self.jobs_by_id[job_id]
+    def lookup_job(self, job_id: int) -> Optional[Job]:
+        """The in-flight job with this id, or ``None`` once retired.
+
+        Streamed runs drop completed jobs from the window, so a late
+        reference (a planned preemption whose victim already finished, a
+        lease whose lender completed before its on-demand borrower) sees
+        ``None`` — which callers treat as "job already done", matching
+        the state guards they apply to materialized runs.
+        """
+        return self.jobs_by_id.get(job_id)
 
     def push_planned_preempt(self, fire: float, od_id: int, victim_id: int) -> None:
         self.equeue.push(
@@ -543,6 +694,15 @@ class Simulation:
             detail=f"eta={job.estimated_arrival:.0f}",
         )
         self.coordinator.on_advance_notice(job)
+        if (
+            self._streaming
+            and job.no_show
+            and self.coordinator.book.get(job_id) is None
+        ):
+            # no reservation was opened (baseline / NOTHING strategy),
+            # so no timeout will ever fire for this no-show: this notice
+            # was its last event
+            self._retire(job_id)
 
     def _handle_finish(self, job_id: int, epoch: int) -> None:
         rj = self.running.get(job_id)
@@ -567,10 +727,16 @@ class Simulation:
         st.end_time = self.now
         released = self.cluster.end_job(job_id)
         self.log.add(self.now, LogKind.FINISH, job_id, nodes=released)
+        self.metrics.observe_finished(job)
         if job.is_ondemand:
             self.coordinator.on_od_completion(job)
         else:
             self.coordinator.on_job_release(job_id, released)
+        if self._streaming:
+            self._n_completed += 1
+            if self.now > self._admit_last_end:
+                self._admit_last_end = self.now
+            self._retire(job_id)
 
     def _handle_failure(self, job_id: int, epoch: int) -> None:
         """A node under this job failed: roll back and restart in place.
@@ -611,6 +777,17 @@ class Simulation:
 
     def _handle_timeout(self, od_id: int) -> None:
         self.coordinator.on_reservation_timeout(od_id)
+        if self._streaming:
+            job = self.jobs_by_id.get(od_id)
+            if job is not None and job.no_show:
+                # the expired reservation was this announced no-show's
+                # last trace of activity
+                if job.state not in (JobState.PENDING, JobState.NOTICED):
+                    raise SimulationError(
+                        f"no-show job {od_id} somehow reached state "
+                        f"{job.state.value}"
+                    )
+                self._retire(od_id)
 
     # ------------------------------------------------------------------
     # Scheduling pass
@@ -643,9 +820,11 @@ class Simulation:
     def _reservation_blocks(self) -> List:
         """Reservation pseudo-blocks: held nodes release when the owning
         on-demand job is predicted to finish.  Recomputed per pass (the
-        release time of an *arrived* reservation tracks ``now``); active
-        reservations are few, so this overlay stays cheap."""
-        blocks = []
+        release time of an *arrived* reservation tracks ``now``) into a
+        single reused list; active reservations are few, so this overlay
+        stays cheap."""
+        blocks = self._resv_overlay
+        blocks.clear()
         for r in self.coordinator.book.active_reservations():
             if r.held <= 0:
                 continue
@@ -669,9 +848,7 @@ class Simulation:
             ]
             blocks.extend(overlay)
             return ProfileView.from_blocks(self.now, usable, blocks)
-        return ProfileView(
-            self.now, usable, timeline=self.timeline, overlay=overlay
-        )
+        return self._view.reset(self.now, usable, overlay)
 
     def _has_clock_tracking_block(self) -> bool:
         """Does any reservation pseudo-block's release move with ``now``?
@@ -829,10 +1006,15 @@ class Simulation:
                 p["od_id"]
             ),
         }
-        with self._obs.span("sim.run", jobs=len(self.jobs)), \
+        n_jobs_hint = -1 if self._streaming else len(self.jobs)
+        with self._obs.span("sim.run", jobs=n_jobs_hint), \
                 self._obs.memory.section("sim.run"):
-            while len(self.equeue):
-                batch = self.equeue.pop_batch()
+            while True:
+                if self._streaming:
+                    self._pump_stream()
+                if not len(self.equeue):
+                    break
+                batch = self.equeue.pop_batch(self._batch)
                 now = self.now
                 self.cluster.advance(now)
                 self.coordinator.book.advance(now)
@@ -860,18 +1042,48 @@ class Simulation:
                 f"held={self.coordinator.book.total_held})"
             )
 
-        arrived = [j for j in self.jobs if not j.no_show]
-        ends = [j.stats.end_time for j in arrived if j.stats.end_time is not None]
-        if len(ends) != len(arrived):
-            raise SimulationError("some jobs never completed")
-        for job in self.jobs:
-            if job.no_show and job.state not in (JobState.PENDING, JobState.NOTICED):
-                raise SimulationError(
-                    f"no-show job {job.job_id} somehow reached state "
-                    f"{job.state.value}"
-                )
-        first_submit = min(j.submit_time for j in self.jobs) if self.jobs else 0.0
-        last_end = max(ends) if ends else 0.0
+        if self._streaming:
+            # The per-job list is gone; the admission/finish counters
+            # and the retained window answer the same questions the
+            # materialized scans below do.
+            for job in self.jobs_by_id.values():
+                if not job.no_show:
+                    raise SimulationError("some jobs never completed")
+                if job.state not in (JobState.PENDING, JobState.NOTICED):
+                    raise SimulationError(
+                        f"no-show job {job.job_id} somehow reached state "
+                        f"{job.state.value}"
+                    )
+            if self._n_completed != self._n_arrivals_admitted:
+                raise SimulationError("some jobs never completed")
+            first_submit = (
+                self._admit_first_submit
+                if math.isfinite(self._admit_first_submit)
+                else 0.0
+            )
+            last_end = self._admit_last_end
+        else:
+            arrived = [j for j in self.jobs if not j.no_show]
+            ends = [
+                j.stats.end_time
+                for j in arrived
+                if j.stats.end_time is not None
+            ]
+            if len(ends) != len(arrived):
+                raise SimulationError("some jobs never completed")
+            for job in self.jobs:
+                if job.no_show and job.state not in (
+                    JobState.PENDING,
+                    JobState.NOTICED,
+                ):
+                    raise SimulationError(
+                        f"no-show job {job.job_id} somehow reached state "
+                        f"{job.state.value}"
+                    )
+            first_submit = (
+                min(j.submit_time for j in self.jobs) if self.jobs else 0.0
+            )
+            last_end = max(ends) if ends else 0.0
         return SimulationResult(
             jobs=self.jobs,
             mechanism=self.mechanism.name if self.mechanism else None,
@@ -893,4 +1105,5 @@ class Simulation:
             lease_expands=self.coordinator.lease_expands,
             failures_injected=self._failures_injected,
             log=self.log if self.config.log_decisions else None,
+            accumulator=self.metrics,
         )

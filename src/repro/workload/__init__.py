@@ -30,6 +30,8 @@ from repro.workload.spec import (
     WorkloadSpec,
     theta_spec,
 )
+from repro.workload.stream import DEFAULT_NOTICE_HORIZON_S, JobStream, as_stream
+from repro.workload.swf import iter_swf, load_swf, retype_jobs, stream_swf
 from repro.workload.theta import ThetaWorkloadGenerator, generate_trace
 from repro.workload.validate import Finding, assert_valid, validate_trace
 from repro.workload.trace import (
@@ -59,6 +61,13 @@ __all__ = [
     "theta_spec",
     "ThetaWorkloadGenerator",
     "generate_trace",
+    "DEFAULT_NOTICE_HORIZON_S",
+    "JobStream",
+    "as_stream",
+    "iter_swf",
+    "load_swf",
+    "retype_jobs",
+    "stream_swf",
     "characterize_sizes",
     "clone_jobs",
     "load_trace_csv",

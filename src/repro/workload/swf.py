@@ -26,31 +26,33 @@ with :func:`repro.workload.projects.assign_project_types` and
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.jobs.job import Job, JobType
 from repro.util.errors import ConfigurationError
 from repro.workload.projects import assign_project_types
 from repro.workload.ondemand import assign_notice_classes
 from repro.workload.spec import NoticeMix
+from repro.workload.stream import JobStream
 
 import numpy as np
 
 
-def load_swf(
+def iter_swf(
     path: str,
     cores_per_node: int = 1,
     min_runtime_s: float = 60.0,
     max_jobs: Optional[int] = None,
-) -> List[Job]:
-    """Parse an SWF file into rigid :class:`Job` objects.
+) -> Iterator[Job]:
+    """Stream an SWF file as rigid :class:`Job` objects, one line at a time.
 
-    Jobs with unusable fields (non-positive runtime or size) are skipped,
-    mirroring the cleaning every SWF consumer performs.  Estimates are
-    clamped up to the actual runtime when the log undershoots (SWF logs
-    kill at the limit, but some records are inconsistent).
+    Identical semantics to :func:`load_swf` (same cleaning, same
+    ``base_submit`` normalisation, same ids) without ever materialising
+    the trace — month- or year-scale archive logs can feed a streamed
+    :class:`~repro.sim.simulator.Simulation` directly via
+    :func:`stream_swf` in O(in-flight) memory.
     """
-    jobs: List[Job] = []
+    emitted = 0
     base_submit: Optional[float] = None
     with open(path) as fh:
         for line in fh:
@@ -77,21 +79,66 @@ def load_swf(
             estimate = max(estimate, runtime)
             if base_submit is None:
                 base_submit = submit
-            jobs.append(
-                Job(
-                    job_id=len(jobs),
-                    job_type=JobType.RIGID,
-                    submit_time=submit - base_submit,
-                    size=size,
-                    runtime=runtime,
-                    estimate=estimate,
-                    setup_time=0.0,
-                    project=group if group >= 0 else user,
-                )
+            yield Job(
+                job_id=emitted,
+                job_type=JobType.RIGID,
+                submit_time=submit - base_submit,
+                size=size,
+                runtime=runtime,
+                estimate=estimate,
+                setup_time=0.0,
+                project=group if group >= 0 else user,
             )
-            if max_jobs is not None and len(jobs) >= max_jobs:
+            emitted += 1
+            if max_jobs is not None and emitted >= max_jobs:
                 break
-    return jobs
+
+
+def stream_swf(
+    path: str,
+    cores_per_node: int = 1,
+    min_runtime_s: float = 60.0,
+    max_jobs: Optional[int] = None,
+) -> JobStream:
+    """:func:`iter_swf` wrapped for the simulator's streaming path.
+
+    SWF jobs carry no advance notices, so the notice horizon is 0 — the
+    simulator admits each job just ahead of the event clock.
+    """
+    return JobStream(
+        iter_swf(
+            path,
+            cores_per_node=cores_per_node,
+            min_runtime_s=min_runtime_s,
+            max_jobs=max_jobs,
+        ),
+        notice_horizon_s=0.0,
+    )
+
+
+def load_swf(
+    path: str,
+    cores_per_node: int = 1,
+    min_runtime_s: float = 60.0,
+    max_jobs: Optional[int] = None,
+) -> List[Job]:
+    """Parse an SWF file into rigid :class:`Job` objects.
+
+    Jobs with unusable fields (non-positive runtime or size) are skipped,
+    mirroring the cleaning every SWF consumer performs.  Estimates are
+    clamped up to the actual runtime when the log undershoots (SWF logs
+    kill at the limit, but some records are inconsistent).
+    Materialises :func:`iter_swf`; use :func:`stream_swf` to avoid the
+    full list.
+    """
+    return list(
+        iter_swf(
+            path,
+            cores_per_node=cores_per_node,
+            min_runtime_s=min_runtime_s,
+            max_jobs=max_jobs,
+        )
+    )
 
 
 def retype_jobs(

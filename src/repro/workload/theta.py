@@ -22,7 +22,7 @@ complete, bit-reproducible description of a trace.
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.util.rng import RngStreams
 from repro.workload.ondemand import assign_notice_classes
 from repro.workload.projects import ProjectTable, build_project_table
 from repro.workload.spec import WorkloadSpec
+from repro.workload.stream import JobStream
 
 
 class ThetaWorkloadGenerator:
@@ -105,8 +106,49 @@ class ThetaWorkloadGenerator:
         return np.clip(times, 0.0, s.horizon_s)
 
     # ------------------------------------------------------------------
+    @property
+    def notice_horizon_s(self) -> float:
+        """Upper bound on ``submit_time - notice_time`` for this spec.
+
+        The widest gap is a LATE arrival: its notice precedes the
+        *estimated* arrival by at most the maximum lead, and the actual
+        submission trails the estimate by at most the late window.
+        """
+        return self.spec.notice_lead_range_s[1] + self.spec.late_window_s
+
     def generate(self) -> List[Job]:
         """Produce the trace: a submit-time-sorted list of fresh jobs."""
+        rows = self._build_rows()
+        return [self._job_from_row(job_id, row) for job_id, row in enumerate(rows)]
+
+    def iter_jobs(self) -> JobStream:
+        """The same trace as :meth:`generate`, yielded lazily in submit order.
+
+        Identical (spec, seed) draws — job-for-job equal to
+        :meth:`generate`, same ids — but :class:`Job` objects (and their
+        mutable stats) are built one at a time and each intermediate row
+        is released as soon as its job is yielded, so a streamed
+        simulation never holds the materialized trace.  The shape/
+        submission pipeline itself still builds its lightweight row
+        dicts (the correlated project/session draws need the full
+        population), so generation is O(trace) in *row* memory but the
+        expensive Job layer stays O(in-flight).
+        """
+        rows = self._build_rows()
+
+        def emit() -> Iterator[Job]:
+            # pop from the tail of the reversed list: ascending submit
+            # order, freeing each row as it is consumed
+            rows.reverse()
+            job_id = 0
+            while rows:
+                yield self._job_from_row(job_id, rows.pop())
+                job_id += 1
+
+        return JobStream(emit(), notice_horizon_s=self.notice_horizon_s)
+
+    def _build_rows(self) -> List[dict]:
+        """Steps 1–5 of the pipeline: submit-sorted intermediate rows."""
         s = self.spec
         rng_shape = self.streams.get("shape")
         rng_proj = self.streams.get("projects")
@@ -189,28 +231,27 @@ class ThetaWorkloadGenerator:
                 row["setup"] = 0.0
                 row["min_size"] = None
 
-        # 6. Materialise Job objects in submit order.
+        # 6. Submit order (Job materialisation is the caller's step).
         rows.sort(key=lambda r: (r["submit"], r["size"]))
-        jobs: List[Job] = []
-        for job_id, row in enumerate(rows):
-            jobs.append(
-                Job(
-                    job_id=job_id,
-                    job_type=row["type"],
-                    submit_time=row["submit"],
-                    size=row["size"],
-                    runtime=row["runtime"],
-                    estimate=row["estimate"],
-                    setup_time=row["setup"],
-                    min_size=row["min_size"],
-                    project=row["project"],
-                    notice_class=row.get("notice_class", NoticeClass.NONE),
-                    notice_time=row.get("notice_time"),
-                    estimated_arrival=row.get("estimated_arrival"),
-                    no_show=row.get("no_show", False),
-                )
-            )
-        return jobs
+        return rows
+
+    @staticmethod
+    def _job_from_row(job_id: int, row: dict) -> Job:
+        return Job(
+            job_id=job_id,
+            job_type=row["type"],
+            submit_time=row["submit"],
+            size=row["size"],
+            runtime=row["runtime"],
+            estimate=row["estimate"],
+            setup_time=row["setup"],
+            min_size=row["min_size"],
+            project=row["project"],
+            notice_class=row.get("notice_class", NoticeClass.NONE),
+            notice_time=row.get("notice_time"),
+            estimated_arrival=row.get("estimated_arrival"),
+            no_show=row.get("no_show", False),
+        )
 
 
 def generate_trace(spec: WorkloadSpec, seed: int = 0) -> List[Job]:
