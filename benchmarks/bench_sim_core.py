@@ -211,6 +211,56 @@ def test_conservative_planner_speedup(emit, perf_store):  # noqa: F811
     )
 
 
+def test_policy_zoo_throughput(emit, perf_store):  # noqa: F811
+    """Every registered dispatcher on the 1k-job scenario.
+
+    PRB/EWT and the score policy land in the perf observatory next to
+    the legacy orderings: one record per policy under the content-
+    addressed ``{"n_jobs": 1000, "policy": <name>}`` params, so each
+    policy gets its own trend line.  Also asserts the aging policy's
+    cost stays sane — ``prb_ewt`` disables the time-invariance skip,
+    so it bounds how much a pass-per-batch policy may cost relative
+    to FCFS (generous 10x: CI runners are noisy; the point is to
+    catch an accidentally quadratic policy, not 20% drift).
+    """
+    from repro.sched.registry import policy_names
+
+    rows = []
+    walls = {}
+    for name in policy_names():
+        params = {"n_jobs": 1000, "policy": name}
+        record = bench(
+            "sim_core",
+            params,
+            make_sim_core(params),
+            store=perf_store,
+            warmup=0,
+            repeat=1,
+        )
+        walls[name] = record.metrics["wall_time_s"]
+        rows.append(
+            [
+                name,
+                f"{record.metrics['wall_time_s']:.2f}",
+                int(record.metrics["schedule_passes"]),
+                int(record.metrics["passes_skipped"]),
+                f"{record.metrics.get('events_per_s', 0.0):.0f}",
+            ]
+        )
+    emit(
+        "bench_sim_core_policy_zoo",
+        format_table(
+            ["policy", "wall s", "passes", "skipped", "events/s"],
+            rows,
+            title="Policy zoo at 1k jobs (one perf trend line each)",
+        ),
+    )
+    assert walls["prb_ewt"] <= max(walls["fcfs"], 0.5) * 10.0, (
+        f"prb_ewt at {walls['prb_ewt']:.2f}s vs fcfs "
+        f"{walls['fcfs']:.2f}s — aging policy cost blew past 10x"
+    )
+
+
 def test_obs_overhead(emit):  # noqa: F811
     """Instrumentation overhead budget on the 10k-job scenario.
 

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.mechanisms import ALL_MECHANISMS, Mechanism
 from repro.jobs.checkpoint import CheckpointModel
+from repro.sched.registry import resolve_dispatcher
 from repro.sim.config import SimConfig
 from repro.sim.failures import FailureModel
 from repro.util.errors import ConfigurationError
@@ -113,13 +114,19 @@ class CampaignCell:
     trace_file: Optional[str] = None
     #: ``load_swf`` keyword arguments (cores_per_node, max_jobs, ...)
     trace_options: Mapping[str, object] = field(default_factory=dict)
+    #: registered dispatcher name (``repro.sched.registry``); ``None``
+    #: keeps the legacy FCFS + ``backfill_mode`` behaviour
+    policy: Optional[str] = None
+    #: policy factory knobs (score weights, EWT classes, ...)
+    policy_params: Mapping[str, object] = field(default_factory=dict)
 
     def config(self) -> Dict[str, object]:
         """The canonical, hash-defining config dict.
 
-        ``trace_file``/``trace_options`` are included only when set, so
-        synthetic-trace cells hash exactly as they did before the SWF
-        axis existed — old campaign stores stay valid.
+        ``trace_file``/``trace_options`` — and likewise
+        ``policy``/``policy_params`` — are included only when set, so
+        cells that predate those axes hash exactly as they always did —
+        old campaign stores stay valid.
         """
         out: Dict[str, object] = {
             "days": float(self.days),
@@ -139,6 +146,10 @@ class CampaignCell:
             out["trace_file"] = str(self.trace_file)
             if self.trace_options:
                 out["trace_options"] = dict(self.trace_options)
+        if self.policy is not None:
+            out["policy"] = str(self.policy)
+            if self.policy_params:
+                out["policy_params"] = dict(self.policy_params)
         return out
 
     def key(self) -> str:
@@ -169,6 +180,8 @@ class CampaignCell:
             sim_overrides=dict(data.get("sim_overrides", {})),  # type: ignore[arg-type]
             trace_file=data.get("trace_file"),  # type: ignore[arg-type]
             trace_options=dict(data.get("trace_options", {})),  # type: ignore[arg-type]
+            policy=data.get("policy"),  # type: ignore[arg-type]
+            policy_params=dict(data.get("policy_params", {})),  # type: ignore[arg-type]
         )
 
     # --- materialization ---------------------------------------------------
@@ -211,6 +224,8 @@ class CampaignCell:
             backfill_mode=self.backfill_mode,
             checkpoint=checkpoint,
             failures=failures,
+            policy=self.policy,
+            policy_params=dict(self.policy_params),
         )
         if overrides:
             base = replace(base, **_coerce_overrides(base, overrides))
@@ -254,6 +269,15 @@ class CampaignSpec:
     #: SWF log paths; ``None`` entries generate the synthetic Theta trace
     trace_file: Tuple[Optional[str], ...] = (None,)
     trace_options: Mapping[str, object] = field(default_factory=dict)
+    #: registered dispatcher names to sweep; ``None`` entries keep the
+    #: legacy FCFS + ``backfill_mode`` behaviour
+    policy: Tuple[Optional[str], ...] = (None,)
+    #: per-policy factory knobs, keyed by policy name — e.g.
+    #: ``{"score": {"wait_weight": 2}}``; each cell only carries the
+    #: knobs of its own policy
+    policy_params: Mapping[str, Mapping[str, object]] = field(
+        default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -274,6 +298,18 @@ class CampaignSpec:
             raise ConfigurationError(
                 "trace_options given but no trace_file axis value is set"
             )
+        # a typo'd policy axis value (or a bad knob) must error at plan
+        # time, not mid-fleet: resolve every non-None name with its own
+        # params against the registry right here
+        for pname in self.policy_params:
+            if pname not in self.policy:
+                raise ConfigurationError(
+                    f"policy_params given for {pname!r} which is not on "
+                    f"the policy axis {tuple(self.policy)}"
+                )
+        for pol in self.policy:
+            if pol is not None:
+                resolve_dispatcher(pol, self.policy_params.get(pol, {}))
 
     _AXES = (
         "days",
@@ -286,6 +322,7 @@ class CampaignSpec:
         "failure_mtbf_days",
         "seeds",
         "trace_file",
+        "policy",
     )
 
     @property
@@ -308,32 +345,39 @@ class CampaignSpec:
                                     for mtbf in self.failure_mtbf_days:
                                         for seed in self.seeds:
                                             for trace in self.trace_file:
-                                                cells.append(
-                                                    CampaignCell(
-                                                        days=days,
-                                                        target_load=load,
-                                                        system_size=size,
-                                                        notice_mix=mix,
-                                                        mechanism=mech,
-                                                        backfill_mode=bf,
-                                                        checkpoint_multiplier=ckpt,
-                                                        failure_mtbf_days=mtbf,
-                                                        seed=seed,
-                                                        kind=self.kind,
-                                                        spec_overrides=self.spec_overrides,
-                                                        sim_overrides=self.sim_overrides,
-                                                        trace_file=trace,
-                                                        trace_options=(
-                                                            self.trace_options
-                                                            if trace is not None
-                                                            else {}
-                                                        ),
+                                                for pol in self.policy:
+                                                    cells.append(
+                                                        CampaignCell(
+                                                            days=days,
+                                                            target_load=load,
+                                                            system_size=size,
+                                                            notice_mix=mix,
+                                                            mechanism=mech,
+                                                            backfill_mode=bf,
+                                                            checkpoint_multiplier=ckpt,
+                                                            failure_mtbf_days=mtbf,
+                                                            seed=seed,
+                                                            kind=self.kind,
+                                                            spec_overrides=self.spec_overrides,
+                                                            sim_overrides=self.sim_overrides,
+                                                            trace_file=trace,
+                                                            trace_options=(
+                                                                self.trace_options
+                                                                if trace is not None
+                                                                else {}
+                                                            ),
+                                                            policy=pol,
+                                                            policy_params=(
+                                                                self.policy_params.get(pol, {})
+                                                                if pol is not None
+                                                                else {}
+                                                            ),
+                                                        )
                                                     )
-                                                )
         return cells
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "name": self.name,
             "days": list(self.days),
             "target_load": list(self.target_load),
@@ -350,6 +394,14 @@ class CampaignSpec:
             "trace_file": list(self.trace_file),
             "trace_options": dict(self.trace_options),
         }
+        # omitted at the default so campaign.json files written before
+        # the policy axis existed compare equal (ResultStore.write_spec
+        # uses exact dict equality -> pre-axis dirs stay a cache hit)
+        if self.policy != (None,):
+            out["policy"] = list(self.policy)
+        if self.policy_params:
+            out["policy_params"] = dict(self.policy_params)
+        return out
 
     @staticmethod
     def from_dict(data: Mapping[str, object]) -> "CampaignSpec":
@@ -368,7 +420,12 @@ class CampaignSpec:
         for name, value in data.items():
             if name in ("name", "kind"):
                 kwargs[name] = value
-            elif name in ("spec_overrides", "sim_overrides", "trace_options"):
+            elif name in (
+                "spec_overrides",
+                "sim_overrides",
+                "trace_options",
+                "policy_params",
+            ):
                 kwargs[name] = dict(value)  # type: ignore[arg-type]
             elif name == "mechanism" and value in ("all", "all+baseline"):
                 names: List[Optional[str]] = [m.name for m in ALL_MECHANISMS]

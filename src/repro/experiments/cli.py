@@ -61,6 +61,7 @@ from typing import List, Optional
 from repro.core.mechanisms import ALL_MECHANISMS, Mechanism
 from repro.experiments.config import ExperimentConfig
 from repro.experiments import figures
+from repro.sched.registry import policy_names
 from repro.sim.config import SimConfig
 from repro.sim.failures import FailureModel
 from repro.util.timeconst import DAY
@@ -84,6 +85,7 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         system_size=args.nodes,
         backfill_mode=args.backfill,
         failures=failures,
+        policy=args.policy,
     )
     mechanisms: List[Mechanism] = (
         [Mechanism.parse(m) for m in args.mechanisms]
@@ -149,6 +151,12 @@ def make_parser() -> argparse.ArgumentParser:
         help="backfilling flavour (paper: easy)",
     )
     parser.add_argument(
+        "--policy",
+        choices=list(policy_names()),
+        default=None,
+        help="registered dispatcher (default: FCFS + --backfill)",
+    )
+    parser.add_argument(
         "--noshow-frac",
         type=float,
         default=0.0,
@@ -194,6 +202,22 @@ def _add_grid_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backfill", nargs="*", choices=["easy", "conservative"],
         default=["easy"],
+    )
+    parser.add_argument(
+        "--policies",
+        nargs="*",
+        choices=list(policy_names()),
+        default=None,
+        help="registered dispatchers to sweep as a campaign axis "
+        "(default: the legacy FCFS + --backfill cells)",
+    )
+    parser.add_argument(
+        "--policy-params",
+        nargs="*",
+        default=None,
+        metavar="POLICY.KNOB=VALUE",
+        help="policy tuning knobs, e.g. score.wait_weight=2 "
+        "prb_ewt.long_ewt_s=14400",
     )
     parser.add_argument(
         "--ckpt-multipliers", nargs="*", type=float, default=[1.0]
@@ -738,7 +762,29 @@ def _campaign_spec_from_args(args: argparse.Namespace):
         seeds=tuple(seeds),
         trace_file=trace_file,
         trace_options=trace_options,
+        policy=tuple(args.policies) if args.policies else (None,),
+        policy_params=_parse_policy_params(args.policy_params),
     )
+
+
+def _parse_policy_params(pairs: Optional[List[str]]) -> dict:
+    """``POLICY.KNOB=VALUE`` pairs → the per-policy params mapping the
+    campaign spec expects (values JSON-coerced like ``--filter``)."""
+    out: dict = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        policy, dot, knob = key.partition(".")
+        if not sep or not dot or not policy or not knob:
+            raise SystemExit(
+                f"--policy-params expects POLICY.KNOB=VALUE pairs "
+                f"(e.g. score.wait_weight=2), got {pair!r}"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        out.setdefault(policy, {})[knob] = value
+    return out
 
 
 def _parse_filters(pairs: Optional[List[str]]) -> Optional[dict]:

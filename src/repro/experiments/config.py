@@ -108,6 +108,12 @@ class ExperimentConfig:
             kind=kind,
             spec_overrides=_spec_overrides(self.spec),
             sim_overrides=_sim_overrides(self.sim),
+            policy=(self.sim.policy,),
+            policy_params=(
+                {self.sim.policy: dict(self.sim.policy_params)}
+                if self.sim.policy and self.sim.policy_params
+                else {}
+            ),
         )
 
     @staticmethod
@@ -158,6 +164,9 @@ def _sim_overrides(sim: SimConfig) -> dict:
             interval_multiplier=sim.checkpoint.interval_multiplier
         ),
         failures=failures,
+        # covered by the campaign policy axis, like backfill_mode
+        policy=sim.policy,
+        policy_params=dict(sim.policy_params),
     )
     out: dict = {}
     for name in sim.__dataclass_fields__:

@@ -109,7 +109,9 @@ def synth_jobs(n_jobs: int, seed: int = 2022, load: float = 0.95):
 
 
 def bench_sim_config(
-    force_full_replan: bool = False, backfill_mode: str = "easy"
+    force_full_replan: bool = False,
+    backfill_mode: str = "easy",
+    policy: "str | None" = None,
 ):
     """The standard benchmark simulator config (checkpointing off)."""
     from repro.jobs.checkpoint import CheckpointModel
@@ -121,6 +123,7 @@ def bench_sim_config(
         backfill_mode=backfill_mode,
         backfill_depth=16,
         force_full_replan=force_full_replan,
+        policy=policy,
     )
 
 
@@ -128,9 +131,11 @@ def make_sim_core(params: Mapping[str, Any]) -> Scenario:
     """One simulator run of the near-saturated synthetic stream.
 
     Params: ``n_jobs`` (default 1000), ``backfill`` (easy/conservative),
-    ``mechanism`` (e.g. ``CUA&SPAA``; empty = baseline),
-    ``full_replan`` (0/1), ``stream`` (0/1: generator-backed workload +
-    O(in-flight) simulator memory), ``seed``, ``load``.
+    ``policy`` (any registered dispatcher name, e.g. ``prb_ewt``;
+    empty = legacy FCFS), ``mechanism`` (e.g. ``CUA&SPAA``; empty =
+    baseline), ``full_replan`` (0/1), ``stream`` (0/1:
+    generator-backed workload + O(in-flight) simulator memory),
+    ``seed``, ``load``.
     """
     from repro.core.mechanisms import Mechanism
     from repro.sim.simulator import Simulation
@@ -147,6 +152,7 @@ def make_sim_core(params: Mapping[str, Any]) -> Scenario:
     config = bench_sim_config(
         force_full_replan=bool(int(params.get("full_replan", 0))),
         backfill_mode=str(params.get("backfill", "easy")),
+        policy=str(params.get("policy", "") or "") or None,
     )
     mech_name = str(params.get("mechanism", "") or "")
     mech = Mechanism.parse(mech_name) if mech_name else None

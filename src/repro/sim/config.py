@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.jobs.checkpoint import CheckpointModel
 from repro.sim.failures import FailureModel
@@ -71,6 +72,14 @@ class SimConfig:
     failures: FailureModel = field(default_factory=FailureModel.disabled)
     failure_seed: int = 0
     force_full_replan: bool = False
+    #: registered policy name (see ``repro.sched.registry``); ``None``
+    #: keeps the legacy default (FCFS ordering + ``backfill_mode``'s
+    #: planner).  A dispatcher that forces a planner (``easy`` /
+    #: ``conservative``) overrides ``backfill_mode``.
+    policy: "str | None" = None
+    #: tuning knobs passed to the policy factory (e.g. the score
+    #: weights or the EWT class table); only valid with ``policy``
+    policy_params: Mapping[str, object] = field(default_factory=dict)
     #: record every scheduler decision in result.log (small overhead)
     log_decisions: bool = False
     validate_invariants: bool = False
@@ -88,4 +97,17 @@ class SimConfig:
             raise ConfigurationError(
                 f"backfill_mode must be 'easy' or 'conservative', "
                 f"got {self.backfill_mode!r}"
+            )
+        if self.policy is not None:
+            # resolving validates both the name (unknown names list the
+            # registry) and the params (bad knobs raise here, not
+            # mid-simulation); the import is deferred so `sim` never
+            # hard-depends on `sched` at module-import time
+            from repro.sched.registry import resolve_dispatcher
+
+            resolve_dispatcher(self.policy, self.policy_params)
+        elif self.policy_params:
+            raise ConfigurationError(
+                "policy_params given without a policy; set policy to "
+                "one of the registered names"
             )

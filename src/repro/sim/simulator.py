@@ -43,6 +43,7 @@ from repro.sched.conservative import ConservativeBackfillPlanner
 from repro.sched.easy import BackfillPlanner
 from repro.sched.fcfs import FcfsPolicy
 from repro.sched.policy import SchedulingPolicy
+from repro.sched.registry import resolve_dispatcher
 from repro.sched.profile import AvailabilityTimeline, ProfileView
 from repro.sim.cluster import Cluster
 from repro.sim.config import SimConfig
@@ -194,7 +195,12 @@ class Simulation:
         One of the six mechanisms, or ``None`` for the baseline
         (FCFS/EASY with no special treatment of any job class).
     policy:
-        Queue-ordering policy; FCFS by default.
+        Queue-ordering policy: a registered policy name (resolved via
+        :mod:`repro.sched.registry`, with ``config.policy_params`` as
+        the factory knobs), a :class:`SchedulingPolicy` instance, or
+        ``None`` to fall back to ``config.policy`` (and to FCFS when
+        that is unset too).  A named dispatcher that forces a planner
+        ("easy"/"conservative") overrides ``config.backfill_mode``.
     """
 
     def __init__(
@@ -202,11 +208,21 @@ class Simulation:
         jobs: Union[Sequence[Job], JobStream, Iterable[Job]],
         config: Optional[SimConfig] = None,
         mechanism: Optional[Mechanism] = None,
-        policy: Optional[SchedulingPolicy] = None,
+        policy: Union[None, str, SchedulingPolicy] = None,
     ) -> None:
         self.config = config or SimConfig()
         self.mechanism = mechanism
-        self.policy = policy or FcfsPolicy()
+        resolved: Union[None, str, SchedulingPolicy] = (
+            policy if policy is not None else self.config.policy
+        )
+        self._forced_backfill_mode: Optional[str] = None
+        if isinstance(resolved, str):
+            dispatcher = resolve_dispatcher(
+                resolved, self.config.policy_params
+            )
+            self._forced_backfill_mode = dispatcher.backfill_mode
+            resolved = dispatcher.ordering
+        self.policy = resolved or FcfsPolicy()
         if isinstance(jobs, JobStream):
             stream: Optional[JobStream] = jobs
         elif isinstance(jobs, Sequence):
@@ -248,7 +264,10 @@ class Simulation:
         self.coordinator = HybridCoordinator(
             mechanism, self, reservation_grace_s=self.config.reservation_grace_s
         )
-        if self.config.backfill_mode == "conservative":
+        backfill_mode = (
+            self._forced_backfill_mode or self.config.backfill_mode
+        )
+        if backfill_mode == "conservative":
             self.planner = ConservativeBackfillPlanner(
                 flexible_malleable=self.config.flexible_malleable
             )
@@ -834,7 +853,12 @@ class Simulation:
                 if r.arrived
                 else r.estimated_arrival + od.estimate
             )
-            blocks.append((max(release, self.now), r.held))
+            # clamp to strictly after now: the profile builder folds
+            # blocks at t <= now + EPS into *present* free capacity,
+            # and held nodes are by definition not startable now — the
+            # conservative planner would otherwise start backfills on
+            # them without loans (oversubscribing the free pool)
+            blocks.append((max(release, self.now + 2 * EPS), r.held))
         return blocks
 
     def _availability_view(self, usable: int) -> ProfileView:

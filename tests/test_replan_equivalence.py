@@ -15,6 +15,7 @@ PAA/SPAA arms, timeouts — is crossed with the skip logic.
 """
 
 import json
+import os
 import sys
 
 import pytest
@@ -25,11 +26,16 @@ from test_simulator_invariants import SYSTEM, random_trace  # noqa: E402
 from repro.core.mechanisms import ALL_MECHANISMS, Mechanism
 from repro.jobs.checkpoint import CheckpointModel
 from repro.metrics.summary import replan_invariant_view, summarize
-from repro.sched.fcfs import LjfPolicy, SjfPolicy
+from repro.sched.registry import policy_names
 from repro.sim.config import SimConfig
 from repro.sim.failures import FailureModel
 from repro.sim.simulator import Simulation
 from repro.workload.trace import clone_jobs
+
+_ONLY = os.environ.get("REPRO_POLICY")
+REGISTRY_POLICIES = tuple(
+    n for n in policy_names() if not _ONLY or n == _ONLY
+)
 
 
 def _config(**kw) -> SimConfig:
@@ -135,11 +141,15 @@ def test_with_failure_injection(seed):
     assert incremental.failures_injected > 0, "scenario injected nothing"
 
 
-@pytest.mark.parametrize("policy_cls", [SjfPolicy, LjfPolicy])
-def test_other_time_invariant_policies(policy_cls):
+@pytest.mark.parametrize("policy", REGISTRY_POLICIES)
+def test_registry_policies_replan_equivalence(policy):
+    """Every registered policy — including time-varying aging ones,
+    which disable the stale-batch skip but keep the empty-queue skip —
+    must plan identically in incremental and full-replan modes.  New
+    registrations are covered automatically via ``policy_names()``."""
     jobs = random_trace(41, 30)
     assert_equivalent(
-        jobs, _config(), Mechanism.parse("N&SPAA"), policy=policy_cls()
+        jobs, _config(policy=policy), Mechanism.parse("N&SPAA")
     )
 
 

@@ -18,10 +18,12 @@ Covers the three equivalence contracts the streaming path promises:
 """
 
 import math
+import os
 
 import pytest
 
 from repro.core.mechanisms import ALL_MECHANISMS
+from repro.sched.registry import policy_names
 from repro.metrics.breakdown import (
     ondemand_by_notice_class,
     utilization_series,
@@ -43,6 +45,11 @@ from repro.workload.theta import ThetaWorkloadGenerator
 #: small but fully featured: every job type, every notice class, a few
 #: hundred jobs — enough for preemptions, loans, and shrinks to occur
 SPEC = theta_spec(days=4, target_load=0.85)
+
+_ONLY = os.environ.get("REPRO_POLICY")
+STREAM_POLICIES = tuple(
+    n for n in policy_names() if not _ONLY or n == _ONLY
+)
 
 
 def _sim_config(**overrides) -> SimConfig:
@@ -155,6 +162,29 @@ def test_streamed_matches_materialized(mechanism):
         mat.first_submit,
         mat.last_end,
     )
+
+
+@pytest.mark.parametrize("policy", STREAM_POLICIES)
+def test_streamed_matches_materialized_every_policy(policy):
+    """Stream == materialized holds for every *registered* policy, new
+    entries included automatically — aging policies (time-varying keys)
+    exercise the pass-skip interplay hardest."""
+    spec = theta_spec(days=2, target_load=0.85)
+    config = SimConfig(
+        system_size=spec.system_size, log_decisions=True, policy=policy
+    )
+    mechanism = ALL_MECHANISMS[0]
+    mat = Simulation(
+        ThetaWorkloadGenerator(spec, seed=9).generate(), config, mechanism
+    ).run()
+    st = Simulation(
+        ThetaWorkloadGenerator(spec, seed=9).iter_jobs(), config, mechanism
+    ).run()
+    assert st.jobs == []
+    assert _canonical(st) == _canonical(mat)
+    assert [e.to_json_line() for e in st.log.entries] == [
+        e.to_json_line() for e in mat.log.entries
+    ]
 
 
 def test_any_iterable_is_accepted_as_a_stream():
