@@ -46,6 +46,7 @@ from repro.campaign.executor import (
     CampaignRunResult,
     collect_records,
     execute_cell,
+    execute_cells,
     plan_campaign,
     run_campaign,
 )
@@ -117,6 +118,7 @@ __all__ = [
     "canonical_json",
     "collect_records",
     "execute_cell",
+    "execute_cells",
     "merge_shards",
     "plan_campaign",
     "run_campaign",

@@ -45,6 +45,7 @@ def _worker_args(
     ttl_s: float,
     poll_s: float,
     trace: bool = False,
+    claim_batch: int = 1,
 ) -> List[str]:
     args = [
         "campaign",
@@ -58,6 +59,8 @@ def _worker_args(
         "--poll",
         str(poll_s),
     ]
+    if claim_batch > 1:
+        args += ["--claim-batch", str(claim_batch)]
     if trace:
         # per-worker trace under the campaign dir (a path every host of
         # a shared-filesystem fleet can write); the launcher merges them
@@ -104,6 +107,7 @@ class LocalSubprocessBackend:
         poll_s: float,
         shard_prefix: str = "local",
         trace: bool = False,
+        claim_batch: int = 1,
     ) -> List[WorkerHandle]:
         env = dict(os.environ)
         # make `repro` importable in the child no matter how the parent
@@ -123,7 +127,9 @@ class LocalSubprocessBackend:
                 self.python,
                 "-m",
                 WORKER_MODULE,
-                *_worker_args(directory, shard, ttl_s, poll_s, trace),
+                *_worker_args(
+                    directory, shard, ttl_s, poll_s, trace, claim_batch
+                ),
             ]
             log = (logs / f"{shard}.log").open("w", encoding="utf-8")
             proc = subprocess.Popen(
@@ -173,6 +179,7 @@ class SSHBackend:
         ttl_s: float,
         poll_s: float,
         trace: bool = False,
+        claim_batch: int = 1,
     ) -> List[str]:
         """The full ssh argv for one worker (exposed for testing)."""
         remote = self.remote_dir or str(directory)
@@ -180,7 +187,7 @@ class SSHBackend:
             self.python,
             "-m",
             WORKER_MODULE,
-            *_worker_args(remote, shard, ttl_s, poll_s, trace),
+            *_worker_args(remote, shard, ttl_s, poll_s, trace, claim_batch),
         ]
         if self.pythonpath:
             worker = ["env", f"PYTHONPATH={self.pythonpath}", *worker]
@@ -193,6 +200,7 @@ class SSHBackend:
         poll_s: float,
         shard_prefix: str = "ssh",
         trace: bool = False,
+        claim_batch: int = 1,
     ) -> List[WorkerHandle]:
         logs = Path(directory) / LOGS_DIR
         logs.mkdir(parents=True, exist_ok=True)
@@ -201,7 +209,9 @@ class SSHBackend:
             # hostname in the shard name: which machine produced which
             # records survives into the shards/ listing
             shard = f"{shard_prefix}-{host}-{i}"
-            cmd = self.command(host, shard, directory, ttl_s, poll_s, trace)
+            cmd = self.command(
+                host, shard, directory, ttl_s, poll_s, trace, claim_batch
+            )
             log = (logs / f"{shard}.log").open("w", encoding="utf-8")
             proc = subprocess.Popen(
                 cmd, stdout=log, stderr=subprocess.STDOUT
@@ -242,6 +252,7 @@ def run_fleet(
     allow_spec_update: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    claim_batch: int = 1,
 ) -> FleetResult:
     """Execute a campaign with a worker fleet: spec → launch → wait →
     merge → collect.
@@ -249,6 +260,8 @@ def run_fleet(
     The campaign directory is the only channel between this process and
     the workers; killing the fleet and re-running :func:`run_fleet` (or
     a plain ``campaign run``) resumes from whatever the shards hold.
+    ``claim_batch > 1`` has every worker claim that many leases per
+    round (``campaign worker --claim-batch``).
     """
     from repro.campaign.executor import (
         CampaignRunResult,
@@ -283,16 +296,16 @@ def run_fleet(
         f"({plan.n_cached} cached, {len(plan.todo)} to run) via "
         f"{backend.name} backend"
     )
+    # non-default keywords only when asked for: custom test backends
+    # without the trace/claim_batch parameters keep working otherwise
+    extra = {}
     if trace:
-        # keyword only when asked for: custom test backends without the
-        # trace parameter keep working for untraced fleets
-        handles = backend.launch(
-            str(directory), ttl_s=ttl_s, poll_s=poll_s, trace=True
-        )
-    else:
-        handles = backend.launch(
-            str(directory), ttl_s=ttl_s, poll_s=poll_s
-        )
+        extra["trace"] = True
+    if claim_batch > 1:
+        extra["claim_batch"] = claim_batch
+    handles = backend.launch(
+        str(directory), ttl_s=ttl_s, poll_s=poll_s, **extra
+    )
     for handle in handles:
         say(f"  launched {handle.shard}: {handle.description}")
     exit_codes = {h.shard: h.wait() for h in handles}

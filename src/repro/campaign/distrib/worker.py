@@ -31,7 +31,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional, Set
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.campaign.distrib.lease import LeaseBoard
 from repro.campaign.progress import ProgressIndex
@@ -100,6 +100,7 @@ def run_worker(
     heartbeat_interval_s: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
     clock: Callable[[], float] = time.time,
+    claim_batch: int = 1,
 ) -> WorkerSummary:
     """Work a campaign directory until the grid is complete.
 
@@ -122,6 +123,15 @@ def run_worker(
     heartbeat_interval_s:
         Defaults to ``ttl_s / 4`` so a live worker can miss two beats
         before anyone may evict it.
+    claim_batch:
+        Leases acquired per claim round (``--claim-batch``).  1 (the
+        default) preserves the classic claim-one/run-one loop; larger
+        values amortize the lease-board and completion-scan traffic
+        over several cells — one heartbeat thread covers the whole
+        group, and each cell is still appended to the shard and
+        released individually the moment it finishes, so the
+        at-most-once happens-before chain (append *before* release,
+        re-check *after* acquire) is unchanged.
     """
     say = progress or (lambda _msg: None)
     start = time.perf_counter()
@@ -158,7 +168,9 @@ def run_worker(
         if not pending:
             break
         claimed_this_pass = 0
-        for key, cell in pending:
+        it = iter(pending)
+        exhausted = False
+        while not exhausted:
             if max_cells is not None and n_executed >= max_cells:
                 index.save()  # autosaves are throttled; exit fresh
                 return WorkerSummary(
@@ -169,48 +181,91 @@ def run_worker(
                     n_passes=n_passes,
                     elapsed_s=time.perf_counter() - start,
                 )
-            if not board.acquire(key):
+            # Claim up to claim_batch leases before running any cell,
+            # amortizing lease-board traffic over the group.
+            budget = max(1, claim_batch)
+            if max_cells is not None:
+                budget = min(budget, max_cells - n_executed)
+            group: List[Tuple[str, object]] = []
+            for key, cell in it:
+                if not board.acquire(key):
+                    continue
+                group.append((key, cell))
+                if len(group) >= budget:
+                    break
+            else:
+                exhausted = True
+            if not group:
+                break
+            # One completion re-check covers the group.  It runs after
+            # every acquire above, so the happens-before chain is the
+            # same as the claim-one loop's: a cell finished elsewhere
+            # flushed its record before releasing, and our acquire
+            # happened after that release — the scan must see it.
+            done_now = known_keys(directory_p, index)
+            runnable = []
+            for key, cell in group:
+                if key in done_now:
+                    # finished-and-released elsewhere after our pass began
+                    board.release(key)
+                else:
+                    runnable.append((key, cell))
+            if not runnable:
                 continue
-            if key in known_keys(directory_p, index):
-                # finished-and-released elsewhere after our pass began
-                board.release(key)
-                continue
-            claimed_this_pass += 1
+            claimed_this_pass += len(runnable)
+            # one heartbeat thread covers every lease the group holds
+            held = {k for k, _ in runnable}
+            held_lock = threading.Lock()
             stop = threading.Event()
             beater = threading.Thread(
                 target=_heartbeat_loop,
-                args=(board, key, stop, hb_interval, say),
+                args=(board, held, held_lock, stop, hb_interval, say),
                 daemon=True,
             )
             beater.start()
-            record = None
             try:
-                with obs.span("distrib.cell", key=key, shard=shard):
-                    record = execute_cell(cell.config())
-                with obs.span("distrib.shard.append", key=key):
-                    shard_store.put(record)
+                for key, cell in runnable:
+                    record = None
+                    try:
+                        with obs.span("distrib.cell", key=key, shard=shard):
+                            record = execute_cell(cell.config())
+                        with obs.span("distrib.shard.append", key=key):
+                            shard_store.put(record)
+                    finally:
+                        # The record append and the release both live in
+                        # this finally: a worker that raises mid-cell
+                        # (disk full on the shard append, a pathological
+                        # config) must still drop its lease, or the cell
+                        # stays locked for a full TTL and every peer
+                        # stalls on it.  The happens-before contract
+                        # holds per cell: the put above (when reached)
+                        # precedes the release, and later cells' leases
+                        # stay held (and heartbeaten) until their turn.
+                        with held_lock:
+                            held.discard(key)
+                        if not board.release(key):
+                            # the lease was evicted out from under us
+                            # mid-cell (heartbeat stall past the TTL)
+                            c_evictions.inc()
+                    n_executed += 1
+                    if not record.ok:
+                        n_failed += 1
+                    tag = "ok" if record.ok else "FAILED"
+                    say(
+                        f"  [{tag}] {key} shard={shard} "
+                        f"({record.elapsed_s:.2f}s)"
+                    )
             finally:
-                # The record append and the release both live in this
-                # finally: a worker that raises mid-cell (disk full on
-                # the shard append, a pathological config) must still
-                # drop its lease, or the cell stays locked for a full
-                # TTL and every peer stalls on it.  The happens-before
-                # contract holds: the put above (when reached) precedes
-                # the release.
                 stop.set()
                 beater.join()
-                if not board.release(key):
-                    # the lease was evicted out from under us mid-cell
-                    # (heartbeat stall past the TTL)
-                    c_evictions.inc()
-            n_executed += 1
-            if not record.ok:
-                n_failed += 1
-            tag = "ok" if record.ok else "FAILED"
-            say(
-                f"  [{tag}] {key} shard={shard} "
-                f"({record.elapsed_s:.2f}s)"
-            )
+                # reached with leases still held only if a cell raised:
+                # drop the rest of the group so peers can claim it
+                with held_lock:
+                    leftovers = sorted(held)
+                    held.clear()
+                for key in leftovers:
+                    if not board.release(key):
+                        c_evictions.inc()
         if claimed_this_pass == 0:
             if not wait:
                 break
@@ -230,14 +285,22 @@ def run_worker(
 
 def _heartbeat_loop(
     board: LeaseBoard,
-    key: str,
+    held: Set[str],
+    held_lock: threading.Lock,
     stop: threading.Event,
     interval_s: float,
     say: Callable[[str], None],
 ) -> None:
+    """Beat every lease the worker currently holds (*held* shrinks as
+    the claim group drains; the set is shared with the claim loop under
+    *held_lock*)."""
     while not stop.wait(interval_s):
-        if not board.heartbeat(key):
-            # lease lost (we stalled past the TTL and were evicted);
-            # keep computing — the record is valid and merge dedupes
-            say(f"  lease lost for {key}; finishing cell anyway")
-            return
+        with held_lock:
+            keys = sorted(held)
+        for key in keys:
+            if not board.heartbeat(key):
+                # lease lost (we stalled past the TTL and were evicted);
+                # keep computing — the record is valid and merge dedupes
+                say(f"  lease lost for {key}; finishing cell anyway")
+                with held_lock:
+                    held.discard(key)

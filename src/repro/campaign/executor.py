@@ -19,45 +19,51 @@ contract:
 
 from __future__ import annotations
 
+import math
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import CellRecord, ResultStore
 from repro.experiments.runner import run_one
+from repro.jobs.job import JobType
 from repro.obs import enabled_obs, get_obs
-from repro.workload.ondemand import burstiness_cv, ondemand_jobs_per_week
+from repro.sim.simulator import process_scratch
+from repro.util.timeconst import WEEK
+from repro.workload.ondemand import burstiness_cv
 from repro.workload.spec import WorkloadSpec
-from repro.workload.theta import generate_trace
-from repro.workload.trace import type_shares
+from repro.workload.stream import JobStream
+from repro.workload.theta import stream_jobs_from_rows
+from repro.workload.trace_cache import get_trace_cache
 
 
-def _cell_jobs(cell: CampaignCell, spec: WorkloadSpec) -> Optional[List]:
-    """Job list for an SWF-backed cell; ``None`` for synthetic cells.
-
-    A real log supplies submit times, sizes, and runtimes; the paper's
-    §IV-A type assignment (projects → on-demand/rigid/malleable, notice
-    classes from the cell's mix) is layered on, seeded by the cell seed
-    so replicas vary the assignment, not the trace.
-    """
-    if cell.trace_file is None:
-        return None
-    from repro.workload.swf import load_swf, retype_jobs
-
-    rigid = load_swf(cell.trace_file, **dict(cell.trace_options))
-    rng = np.random.default_rng(cell.seed)
-    return retype_jobs(
-        rigid,
+def _retype_kwargs(spec: WorkloadSpec) -> Dict[str, object]:
+    """The §IV-A type-assignment knobs an SWF cell layers on its log."""
+    return dict(
         frac_projects_ondemand=spec.frac_projects_ondemand,
         frac_projects_rigid=spec.frac_projects_rigid,
         notice_mix=spec.notice_mix,
-        rng=rng,
         system_size=spec.system_size,
         malleable_min_size_frac=spec.malleable_min_size_frac,
         rigid_setup_frac=spec.rigid_setup_frac,
@@ -67,27 +73,101 @@ def _cell_jobs(cell: CampaignCell, spec: WorkloadSpec) -> Optional[List]:
     )
 
 
-def _trace_payload(cell: CampaignCell) -> Dict[str, object]:
-    """Trace-characterization cells: workload statistics, no simulation."""
+def _cell_jobs(cell: CampaignCell, spec: WorkloadSpec) -> Optional[List]:
+    """Job list for an SWF-backed cell; ``None`` for synthetic cells.
+
+    The materialized twin of :func:`_cell_stream` (kept for the
+    ``stream=False`` A/B path): parses the log via the shared trace
+    cache, then builds the full retyped list at once.
+    """
+    if cell.trace_file is None:
+        return None
+    from repro.workload.swf import retype_jobs
+
+    rigid = get_trace_cache().swf_jobs(cell.trace_file, cell.trace_options)
+    rng = np.random.default_rng(cell.seed)
+    return retype_jobs(rigid, rng=rng, **_retype_kwargs(spec))
+
+
+def _cell_stream(
+    cell: CampaignCell, spec: WorkloadSpec
+) -> Optional[JobStream]:
+    """Streamed jobs for an SWF-backed cell; ``None`` for synthetic cells.
+
+    A real log supplies submit times, sizes, and runtimes; the paper's
+    §IV-A type assignment (projects → on-demand/rigid/malleable, notice
+    classes from the cell's mix) is layered on, seeded by the cell seed
+    so replicas vary the assignment, not the trace.  The parsed rigid
+    log comes from the process-wide
+    :class:`~repro.workload.trace_cache.TraceCache` — one parse serves
+    every cell of the worker — and the retyped jobs are built lazily,
+    so the cell never materializes its trace.
+    """
+    if cell.trace_file is None:
+        return None
+    from repro.workload.swf import retype_stream
+
+    rigid = get_trace_cache().swf_jobs(cell.trace_file, cell.trace_options)
+    rng = np.random.default_rng(cell.seed)
+    return retype_stream(rigid, rng=rng, **_retype_kwargs(spec))
+
+
+def _trace_payload(
+    cell: CampaignCell, stream: bool = True
+) -> Dict[str, object]:
+    """Trace-characterization cells: workload statistics, no simulation.
+
+    One streaming pass over the cell's jobs: per-type counts and
+    on-demand submit times are accumulated as jobs go by (O(on-demand)
+    memory, not O(trace)), then binned exactly as
+    :func:`~repro.workload.ondemand.ondemand_jobs_per_week` bins a
+    materialized list — synthetic cells against the spec horizon, SWF
+    cells against the observed ``max submit + 1``.
+    """
     spec = cell.workload_spec()
-    jobs = _cell_jobs(cell, spec)
-    if jobs is None:
-        jobs = generate_trace(spec, seed=cell.seed)
-        horizon = spec.horizon_s
+    if cell.trace_file is None:
+        if stream:
+            rows = get_trace_cache().theta_rows(spec, cell.seed)
+            jobs: Iterable = stream_jobs_from_rows(spec, rows)
+        else:
+            from repro.workload.theta import generate_trace
+
+            jobs = generate_trace(spec, seed=cell.seed)
+        horizon: Optional[float] = spec.horizon_s
     else:
-        # real logs span whatever they span; bin to the observed horizon
-        horizon = max(j.submit_time for j in jobs) + 1.0 if jobs else 0.0
-    weekly = ondemand_jobs_per_week(jobs, horizon)
+        jobs = _cell_stream(cell, spec) if stream else _cell_jobs(cell, spec)
+        horizon = None  # real logs span whatever they span
+    n_jobs = 0
+    counts = {t: 0 for t in JobType}
+    od_submits: List[float] = []
+    max_submit = 0.0
+    for job in jobs:
+        n_jobs += 1
+        counts[job.job_type] += 1
+        max_submit = max(max_submit, job.submit_time)
+        if job.job_type is JobType.ONDEMAND:
+            od_submits.append(job.submit_time)
+    if horizon is None:
+        horizon = max_submit + 1.0 if n_jobs else 0.0
+    n_weeks = max(1, int(math.ceil(horizon / WEEK)))
+    weekly = [0] * n_weeks
+    for submit in od_submits:
+        weekly[min(n_weeks - 1, int(submit // WEEK))] += 1
+    shares = {
+        t.value: (counts[t] / n_jobs if n_jobs else 0.0) for t in JobType
+    }
     return {
-        "n_jobs": len(jobs),
-        "type_shares": type_shares(jobs),
-        "weekly_ondemand": list(weekly),
+        "n_jobs": n_jobs,
+        "type_shares": shares,
+        "weekly_ondemand": weekly,
         "burstiness_cv": burstiness_cv(weekly),
     }
 
 
 def execute_cell(
-    config: Mapping[str, object], log_dir: Optional[str] = None
+    config: Mapping[str, object],
+    log_dir: Optional[str] = None,
+    stream: bool = True,
 ) -> CellRecord:
     """Run one cell from its canonical config; never raises.
 
@@ -97,6 +177,14 @@ def execute_cell(
     cell's scheduler decision log to ``<log_dir>/<cell key>.jsonl`` —
     an out-of-band side channel, so cell keys and summaries are
     untouched.
+
+    By default the cell streams: its trace is served off the shared
+    :class:`~repro.workload.trace_cache.TraceCache` and jobs are built
+    lazily, so no job list is ever materialized and the simulation's
+    hot-path buffers are reused across the cells this process executes.
+    ``stream=False`` reproduces the pre-cache materialized path —
+    records are byte-identical either way (asserted in tests); the flag
+    exists for A/B benchmarking.
     """
     cell = CampaignCell.from_config(config)
     key = cell.key()
@@ -106,7 +194,7 @@ def execute_cell(
         with obs.span("campaign.cell", key=key, kind=cell.kind), \
                 obs.memory.section("campaign.cell"):
             if cell.kind == "trace":
-                payload, summary = _trace_payload(cell), None
+                payload, summary = _trace_payload(cell, stream=stream), None
             else:
                 log_path = None
                 if log_dir is not None:
@@ -118,8 +206,14 @@ def execute_cell(
                     cell.seed,
                     cell.mechanism_obj(),
                     cell.sim_config(),
-                    jobs=_cell_jobs(cell, wspec),
+                    jobs=(
+                        _cell_stream(cell, wspec)
+                        if stream
+                        else _cell_jobs(cell, wspec)
+                    ),
                     log_path=log_path,
+                    stream=stream,
+                    scratch=process_scratch() if stream else None,
                 )
                 payload, summary = None, metrics.to_dict()
     except Exception:
@@ -143,7 +237,9 @@ def execute_cell(
 
 
 def execute_cell_traced(
-    config: Mapping[str, object], log_dir: Optional[str] = None
+    config: Mapping[str, object],
+    log_dir: Optional[str] = None,
+    stream: bool = True,
 ) -> Tuple[CellRecord, List[Dict[str, object]], Dict[str, object]]:
     """:func:`execute_cell` under a private instrumentation bundle.
 
@@ -154,15 +250,59 @@ def execute_cell_traced(
     with the child's real pid, so Perfetto shows each pool worker as
     its own process track.
     """
+    records, events, metrics = execute_cells_traced(
+        [config], log_dir=log_dir, stream=stream
+    )
+    return records[0], events, metrics
+
+
+def execute_cells(
+    configs: Sequence[Mapping[str, object]],
+    log_dir: Optional[str] = None,
+    stream: bool = True,
+) -> List[CellRecord]:
+    """Run a batch of cells in this process, one record per cell.
+
+    The batched unit of pool dispatch: one IPC round-trip ships N
+    configs out and N records back, while error capture stays per cell
+    (:func:`execute_cell` never raises) and the caller still persists
+    and reports each record individually.  The whole batch runs under a
+    ``campaign.batch`` span, and — because the batch shares this
+    process's trace cache and simulation scratch — its cells amortize
+    parsing and buffer allocation.
+    """
+    with get_obs().span("campaign.batch", n_cells=len(configs)):
+        return [
+            execute_cell(c, log_dir=log_dir, stream=stream) for c in configs
+        ]
+
+
+def execute_cells_traced(
+    configs: Sequence[Mapping[str, object]],
+    log_dir: Optional[str] = None,
+    stream: bool = True,
+) -> Tuple[List[CellRecord], List[Dict[str, object]], Dict[str, object]]:
+    """:func:`execute_cells` under a private instrumentation bundle.
+
+    One bundle per batch (not per cell): the ``campaign.batch`` span
+    wraps the per-cell ``campaign.cell`` spans, so the merged Perfetto
+    timeline shows both the dispatch granularity and the cells inside
+    it.  Returns the batch's records plus its events and metric
+    snapshot for the parent to ``obs.ingest()``.
+    """
     from repro.obs.export import events_from_spans
 
     with enabled_obs() as child_obs:
-        record = execute_cell(config, log_dir=log_dir)
+        with child_obs.span("campaign.batch", n_cells=len(configs)):
+            records = [
+                execute_cell(c, log_dir=log_dir, stream=stream)
+                for c in configs
+            ]
         events = events_from_spans(
             child_obs.tracer.records(),
             process_name=f"pool-worker-{os.getpid()}",
         )
-        return record, events, child_obs.snapshot()
+        return records, events, child_obs.snapshot()
 
 
 @dataclass(frozen=True)
@@ -261,6 +401,99 @@ def collect_records(
     return [r for r in records if r is not None]
 
 
+def trace_affine_order(cells: Sequence[CampaignCell]) -> List[CampaignCell]:
+    """Execution order that groups cells sharing a parsed trace.
+
+    Grids expand mechanism-major (every seed of mechanism 1, then every
+    seed of mechanism 2, ...), so the cells that share one ``(workload
+    spec, seed)`` trace — or one SWF log — are maximally far apart and
+    the trace cache's small LRU evicts each entry before its next use.
+    Sorting by trace identity makes every cache entry serve all its
+    cells back to back, with the content key as the final tiebreaker
+    inside each group so the schedule is a pure function of the cell
+    set, not of expansion order (and the store orders by content key
+    regardless).  Cell identity, records, and summaries are unaffected
+    — only the execution schedule changes.
+    """
+    from repro.workload.trace_cache import _options_hash, spec_hash
+
+    def group(cell: CampaignCell) -> Tuple[str, str, int, str]:
+        if cell.trace_file is not None:
+            return (
+                "swf",
+                f"{cell.trace_file}|{_options_hash(cell.trace_options)}",
+                cell.seed,
+                cell.key(),
+            )
+        try:
+            return (
+                "theta",
+                spec_hash(cell.workload_spec()),
+                cell.seed,
+                cell.key(),
+            )
+        except Exception:
+            # an invalid spec must still reach execute_cell, which
+            # captures the failure as this cell's error record
+            return ("invalid", cell.key(), cell.seed, cell.key())
+
+    return sorted(cells, key=group)
+
+
+def _batch_size(n_cells: int, workers: int) -> int:
+    """Cells per pool round-trip: ~4 batches per worker, capped at 8.
+
+    Single-future-per-cell dispatch pays one pickle/IPC round trip per
+    cell, which dominates for the many-small-cell grids the campaign
+    engine produces; batches much larger than this would coarsen
+    persistence granularity (a killed run loses at most the batches in
+    flight).
+    """
+    return max(1, min(8, n_cells // (workers * 4) or 1))
+
+
+def _dispatch_batched(
+    pool: ProcessPoolExecutor,
+    fn: Callable,
+    todo: Sequence[CampaignCell],
+    batch_size: int,
+    max_inflight: int,
+    log_dir: Optional[str],
+    stream: bool,
+    handle: Callable[[Any], None],
+) -> None:
+    """Submit cell batches through a bounded in-flight window.
+
+    At most *max_inflight* batch futures exist at any moment — the
+    pre-batching code submitted the entire plan up front, materializing
+    one future (plus a pickled config) per cell before the first result
+    came back.  Results are handled finished-first
+    (``wait(FIRST_COMPLETED)``), so a slow batch never blocks
+    persistence of faster ones.
+    """
+    pending = iter(
+        [todo[i:i + batch_size] for i in range(0, len(todo), batch_size)]
+    )
+    inflight: Dict[Future, int] = {}
+    exhausted = False
+    while True:
+        while not exhausted and len(inflight) < max_inflight:
+            batch = next(pending, None)
+            if batch is None:
+                exhausted = True
+                break
+            future = pool.submit(
+                fn, [c.config() for c in batch], log_dir, stream
+            )
+            inflight[future] = len(batch)
+        if not inflight:
+            break
+        done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+        for future in done:
+            del inflight[future]
+            handle(future.result())
+
+
 def run_campaign(
     spec: CampaignSpec,
     directory: Optional[str] = None,
@@ -271,6 +504,9 @@ def run_campaign(
     allow_spec_update: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     log_dir: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    max_inflight: Optional[int] = None,
+    stream: bool = True,
 ) -> CampaignRunResult:
     """Execute every not-yet-computed cell of *spec*.
 
@@ -298,6 +534,20 @@ def run_campaign(
     log_dir:
         Write each simulated cell's scheduler decision log to
         ``<log_dir>/<cell key>.jsonl`` (``--log-decisions``).
+    batch_size:
+        Cells per pool round-trip (``--batch-size``); default sizes
+        batches at ~4 per worker, capped at 8 (:func:`_batch_size`).
+        Only meaningful with ``workers > 1``.
+    max_inflight:
+        Bound on simultaneously submitted batch futures; default
+        ``4 * workers``.  Keeps the dispatch window (and its pickled
+        configs) bounded instead of materializing the whole plan as
+        futures up front.
+    stream:
+        Stream every cell's trace off the shared cache (default).
+        ``False`` restores the materialized pre-cache path — records
+        are byte-identical either way; the flag exists for A/B
+        benchmarking.
 
     For multi-machine execution of the same grid, see
     :func:`repro.campaign.distrib.run_fleet` — it shares this planner
@@ -329,40 +579,47 @@ def run_campaign(
     obs.counter("campaign.cells.cached").inc(plan.n_cached)
 
     if todo:
+        todo = trace_affine_order(todo)
         if workers <= 1:
             # in-process: cell spans land directly in this process's
             # ring buffer, nested under whatever span the caller holds
             for cell in todo:
-                record = execute_cell(cell.config(), log_dir=log_dir)
+                record = execute_cell(
+                    cell.config(), log_dir=log_dir, stream=stream
+                )
                 store.put(record)
                 say(_cell_line(record, by_key[record.key]))
-        elif obs.enabled:
-            # traced pool: children ship their spans and metric
-            # snapshots back with each record for one merged trace
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(execute_cell_traced, c.config(), log_dir)
-                    for c in todo
-                ]
-                for future in as_completed(futures):
-                    record, events, metrics = future.result()
-                    obs.ingest(events, metrics)
-                    store.put(record)
-                    say(_cell_line(record, by_key[record.key]))
         else:
-            # submit + as_completed (not pool.map): records persist the
-            # moment each cell finishes, in any order, so a kill loses
-            # only cells actually in flight — map's ordered stream would
-            # buffer completed cells behind a slow head-of-line cell
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(execute_cell, c.config(), log_dir)
-                    for c in todo
-                ]
-                for future in as_completed(futures):
-                    record = future.result()
+            n_batch = batch_size or _batch_size(len(todo), workers)
+            window = max_inflight or 4 * workers
+
+            def persist(records: List[CellRecord]) -> None:
+                for record in records:
                     store.put(record)
                     say(_cell_line(record, by_key[record.key]))
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                if obs.enabled:
+                    # traced pool: children ship their spans and metric
+                    # snapshots back with each batch for one merged trace
+                    def handle(result: Tuple) -> None:
+                        records, events, metrics = result
+                        obs.ingest(events, metrics)
+                        persist(records)
+
+                    _dispatch_batched(
+                        pool, execute_cells_traced, todo, n_batch,
+                        window, log_dir, stream, handle,
+                    )
+                else:
+                    # batches persist the moment each finishes, in any
+                    # order, so a kill loses only cells actually in
+                    # flight — an ordered stream would buffer completed
+                    # batches behind a slow head-of-line batch
+                    _dispatch_batched(
+                        pool, execute_cells, todo, n_batch,
+                        window, log_dir, stream, persist,
+                    )
 
     final = collect_records(spec, store)
     return CampaignRunResult(

@@ -266,6 +266,21 @@ def make_campaign_parser() -> argparse.ArgumentParser:
     _add_grid_args(run_p)
     run_p.add_argument("--workers", type=int, default=1)
     run_p.add_argument(
+        "--batch-size", type=int, default=None,
+        help="cells per pool round-trip with --workers > 1 "
+        "(default: auto, ~4 batches per worker capped at 8)",
+    )
+    run_p.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="bound on simultaneously submitted cell batches "
+        "(default: 4 x workers)",
+    )
+    run_p.add_argument(
+        "--no-stream", action="store_true",
+        help="materialize each cell's trace instead of streaming it "
+        "off the shared cache (A/B benchmarking; results identical)",
+    )
+    run_p.add_argument(
         "--retry-failed",
         action="store_true",
         help="re-run cells whose stored status is 'error'",
@@ -325,6 +340,11 @@ def make_campaign_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--ttl", type=float, default=60.0)
     fleet_p.add_argument("--poll", type=float, default=1.0)
     fleet_p.add_argument(
+        "--claim-batch", type=int, default=1,
+        help="leases each worker claims per round (amortizes "
+        "lease-board and completion-scan traffic)",
+    )
+    fleet_p.add_argument(
         "--trace",
         dest="trace_out",
         default=None,
@@ -352,6 +372,11 @@ def make_campaign_parser() -> argparse.ArgumentParser:
         "--no-wait", action="store_true",
         help="exit when nothing is claimable instead of waiting for "
         "other workers' leases to resolve",
+    )
+    worker_p.add_argument(
+        "--claim-batch", type=int, default=1,
+        help="leases to claim per round before executing (amortizes "
+        "lease-board and completion-scan traffic)",
     )
     worker_p.add_argument(
         "--trace",
@@ -844,6 +869,9 @@ def campaign_main(argv: List[str]) -> int:
             allow_spec_update=args.grow,
             progress=print,
             log_dir=args.log_decisions,
+            batch_size=args.batch_size,
+            max_inflight=args.max_inflight,
+            stream=not args.no_stream,
         )
         print(
             f"campaign {spec.name!r}: {result.n_total} cells — "
@@ -885,6 +913,7 @@ def campaign_main(argv: List[str]) -> int:
             allow_spec_update=args.grow,
             progress=print,
             trace=obs is not None,
+            claim_batch=args.claim_batch,
         )
         result = fleet.run
         print(
@@ -929,6 +958,7 @@ def campaign_main(argv: List[str]) -> int:
             max_cells=args.max_cells,
             wait=not args.no_wait,
             progress=print,
+            claim_batch=args.claim_batch,
         )
         if obs is not None:
             from repro.obs.export import write_trace

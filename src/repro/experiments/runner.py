@@ -11,14 +11,17 @@ from __future__ import annotations
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.mechanisms import Mechanism
+from repro.jobs.job import Job
 from repro.metrics.summary import SummaryMetrics, average_summaries, summarize
 from repro.sim.config import SimConfig
-from repro.sim.simulator import Simulation
+from repro.sim.simulator import Simulation, SimScratch, process_scratch
 from repro.workload.spec import NoticeMix, WorkloadSpec
-from repro.workload.theta import generate_trace
+from repro.workload.stream import JobStream, as_stream
+from repro.workload.theta import generate_trace, stream_jobs_from_rows
+from repro.workload.trace_cache import get_trace_cache
 
 
 @dataclass(frozen=True)
@@ -46,13 +49,32 @@ def run_one(
     seed: int,
     mechanism: Optional[Mechanism],
     sim: Optional[SimConfig] = None,
-    jobs: Optional[List] = None,
+    jobs: Optional[Iterable[Job]] = None,
     log_path: Optional[str] = None,
+    stream: bool = True,
+    scratch: Optional[SimScratch] = None,
 ) -> SummaryMetrics:
     """Generate (or accept) a trace and simulate it under one mechanism.
 
     *jobs* bypasses the synthetic generator — the campaign engine's SWF
-    cells build their job list from a real log and pass it in here.
+    cells feed their retyped log in here.  Any submit-ordered iterable
+    is accepted: a :class:`~repro.workload.stream.JobStream` streams
+    with its declared notice horizon, a plain sequence takes the
+    materialized path, and any other iterator/generator is coerced via
+    :func:`~repro.workload.stream.as_stream` (default horizon).
+
+    When *jobs* is ``None`` and *stream* is true (the default), the
+    trace is served from the process-wide
+    :class:`~repro.workload.trace_cache.TraceCache` — generation runs
+    once per ``(spec, seed)`` per worker process, each call streams
+    fresh jobs off the shared rows, and no job list is ever
+    materialized.  ``stream=False`` restores the pre-cache behaviour
+    (generate a full list, simulate it materialized) — summaries are
+    byte-identical either way; the flag exists for A/B benchmarking.
+
+    *scratch* lets a worker reuse one set of simulation hot-path
+    buffers across calls (see
+    :func:`~repro.sim.simulator.process_scratch`).
 
     *log_path* turns on decision logging for this run and writes the
     log as JSONL there (``--log-decisions``); it is deliberately an
@@ -63,8 +85,14 @@ def run_one(
     if log_path is not None and not sim.log_decisions:
         sim = replace(sim, log_decisions=True)
     if jobs is None:
-        jobs = generate_trace(spec, seed=seed)
-    result = Simulation(jobs, sim, mechanism).run()
+        if stream:
+            rows = get_trace_cache().theta_rows(spec, seed)
+            jobs = stream_jobs_from_rows(spec, rows)
+        else:
+            jobs = generate_trace(spec, seed=seed)
+    elif not isinstance(jobs, (Sequence, JobStream)):
+        jobs = as_stream(jobs)
+    result = Simulation(jobs, sim, mechanism, scratch=scratch).run()
     if log_path is not None and result.log is not None:
         result.log.write_jsonl(log_path)
     return summarize(result, instant_threshold_s=sim.instant_threshold_s)
@@ -76,7 +104,7 @@ def _run_cell(
     spec, seed, mech_name, sim, mix_name = args
     try:
         mechanism = Mechanism.parse(mech_name) if mech_name else None
-        summary = run_one(spec, seed, mechanism, sim)
+        summary = run_one(spec, seed, mechanism, sim, scratch=process_scratch())
     except Exception:
         return Cell(
             mechanism_name=mech_name,
@@ -142,10 +170,13 @@ def run_mechanism_grid(
     ``{mechanism_name_or_None: averaged summary}`` preserving input order.
     """
     sim = sim or SimConfig(system_size=spec.system_size)
+    # seed-major: the cells sharing one (spec, seed) trace run back to
+    # back, so each generation in the process-wide trace cache serves
+    # every mechanism before the LRU can evict it
     cells = [
         (spec, seed, m.name if m else None, sim, mix_name)
-        for m in mechanisms
         for seed in seeds
+        for m in mechanisms
     ]
     results = _execute(cells, workers)
     out: Dict[Optional[str], SummaryMetrics] = {}
@@ -165,11 +196,12 @@ def run_workload_sweep(
 ) -> Dict[str, Dict[Optional[str], SummaryMetrics]]:
     """The Fig. 6 grid: Table III mixes x mechanisms, averaged over seeds."""
     sim = sim or SimConfig(system_size=spec.system_size)
+    # (mix, seed)-major for trace-cache affinity, as in run_mechanism_grid
     cells = [
         (spec.with_notice_mix(mix), seed, m.name if m else None, sim, mix.name)
         for mix in mixes
-        for m in mechanisms
         for seed in seeds
+        for m in mechanisms
     ]
     results = _execute(cells, workers)
     out: Dict[str, Dict[Optional[str], SummaryMetrics]] = {}

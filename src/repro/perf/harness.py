@@ -49,6 +49,10 @@ class Measurement:
             out["events_per_s"] = (
                 self.extra["events_processed"] / self.wall_time_s
             )
+        if "cells_processed" in self.extra and self.wall_time_s > 0:
+            out["cells_per_min"] = (
+                self.extra["cells_processed"] * 60.0 / self.wall_time_s
+            )
         return out
 
 

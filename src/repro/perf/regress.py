@@ -56,7 +56,11 @@ FAILING = frozenset({"regression"})
 
 def metric_direction(name: str) -> str:
     """"lower" (better) or "higher" (better) for a metric name."""
-    if name.endswith("_per_s") or name.endswith("_per_sec"):
+    if (
+        name.endswith("_per_s")
+        or name.endswith("_per_sec")
+        or name.endswith("_per_min")
+    ):
         return "higher"
     return "lower"
 

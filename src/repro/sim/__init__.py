@@ -13,7 +13,12 @@ from repro.sim.engine import EventQueue
 from repro.sim.events import Event, EventType
 from repro.sim.failures import FailureModel
 from repro.sim.schedlog import LogEntry, LogKind, SchedulerLog
-from repro.sim.simulator import Simulation, SimulationResult
+from repro.sim.simulator import (
+    SimScratch,
+    Simulation,
+    SimulationResult,
+    process_scratch,
+)
 
 __all__ = [
     "Cluster",
@@ -24,6 +29,8 @@ __all__ = [
     "EventQueue",
     "Event",
     "EventType",
+    "SimScratch",
     "Simulation",
     "SimulationResult",
+    "process_scratch",
 ]

@@ -28,6 +28,7 @@ are identical in both modes.
 from __future__ import annotations
 
 import math
+import threading
 import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
@@ -173,6 +174,53 @@ class SimulationResult:
         return max(self.last_end - self.first_submit, EPS)
 
 
+class SimScratch:
+    """Reusable per-worker simulation scratch buffers.
+
+    A campaign worker runs thousands of short simulations back to back;
+    each one used to allocate its own event-batch list, reservation
+    overlay, and timeline-backed :class:`ProfileView`.  One
+    ``SimScratch`` carries those three across every cell the worker
+    executes: :class:`Simulation` calls :meth:`attach` during
+    construction, which clears the buffers and rebinds the view to the
+    new run's timeline, so no state leaks between cells.  Not
+    thread-safe — one scratch per worker thread
+    (:func:`process_scratch`), and never share one across concurrently
+    running simulations.
+    """
+
+    __slots__ = ("batch", "overlay", "view")
+
+    def __init__(self) -> None:
+        self.batch: List[Event] = []
+        self.overlay: List = []
+        self.view = ProfileView(0.0, 0, timeline=None)
+
+    def attach(self, timeline: AvailabilityTimeline) -> "SimScratch":
+        """Reset the buffers and bind the view to a new run's timeline."""
+        self.batch.clear()
+        self.overlay.clear()
+        self.view.rebind(timeline)
+        return self
+
+
+_SCRATCH_LOCAL = threading.local()
+
+
+def process_scratch() -> SimScratch:
+    """The calling thread's shared :class:`SimScratch` (created lazily).
+
+    Campaign executors and experiment runners pass this to every
+    :class:`Simulation` they construct so a worker's cells reuse one
+    set of hot-path buffers.  Thread-local, so a thread pool gets one
+    scratch per worker thread and a process pool one per process.
+    """
+    scratch = getattr(_SCRATCH_LOCAL, "scratch", None)
+    if scratch is None:
+        scratch = _SCRATCH_LOCAL.scratch = SimScratch()
+    return scratch
+
+
 class Simulation:
     """One trace-driven simulation run.
 
@@ -201,6 +249,13 @@ class Simulation:
         ``None`` to fall back to ``config.policy`` (and to FCFS when
         that is unset too).  A named dispatcher that forces a planner
         ("easy"/"conservative") overrides ``config.backfill_mode``.
+    scratch:
+        Optional :class:`SimScratch` whose hot-path buffers this run
+        adopts instead of allocating its own (campaign workers share
+        one scratch across all their cells; see
+        :func:`process_scratch`).  Reset on attach, so no state leaks
+        from the previous run; must not be shared by concurrently
+        running simulations.
     """
 
     def __init__(
@@ -209,6 +264,7 @@ class Simulation:
         config: Optional[SimConfig] = None,
         mechanism: Optional[Mechanism] = None,
         policy: Union[None, str, SchedulingPolicy] = None,
+        scratch: Optional[SimScratch] = None,
     ) -> None:
         self.config = config or SimConfig()
         self.mechanism = mechanism
@@ -294,7 +350,11 @@ class Simulation:
         #: reservations, predicted releases) changed since the last
         #: executed scheduling pass
         self._sched_dirty = True
-        self._failure_rng = RngStreams(self.config.failure_seed).get("failures")
+        # built lazily on first draw: SeedSequence + Generator setup is
+        # ~20% of a short cell's wall time and most configs never inject
+        # a failure; laziness cannot perturb draws (the stream is seeded
+        # independently of construction order)
+        self._failure_rng = None
         self._failures_injected = 0
         self.log = SchedulerLog(enabled=self.config.log_decisions)
         # Instrumentation (repro.obs): metric objects are resolved once
@@ -318,9 +378,17 @@ class Simulation:
         # Hot-path reuse: one batch list, one reservation-overlay list,
         # and one timeline-backed ProfileView serve the whole run, so
         # the per-batch loop allocates nothing for its fixed machinery.
-        self._batch: List[Event] = []
-        self._resv_overlay: List = []
-        self._view = ProfileView(0.0, 0, timeline=self.timeline)
+        # A caller-supplied SimScratch extends the reuse across runs:
+        # campaign workers hand every cell's Simulation the same scratch.
+        if scratch is not None:
+            scratch.attach(self.timeline)
+            self._batch = scratch.batch
+            self._resv_overlay = scratch.overlay
+            self._view = scratch.view
+        else:
+            self._batch = []
+            self._resv_overlay = []
+            self._view = ProfileView(0.0, 0, timeline=self.timeline)
         if not self._streaming:
             self._seed_events()
 
@@ -682,6 +750,10 @@ class Simulation:
             base = max(base, ex.timeline.start)
         elif isinstance(ex, MalleableExecution):
             base = max(base, ex._last_update)
+        if self._failure_rng is None:
+            self._failure_rng = RngStreams(
+                self.config.failure_seed
+            ).get("failures")
         gap = fm.draw_time_to_failure(rj.nodes, self._failure_rng)
         at = base + gap
         if at < rj.execution.finish_time() - EPS:

@@ -31,8 +31,24 @@ from repro.workload.spec import (
     theta_spec,
 )
 from repro.workload.stream import DEFAULT_NOTICE_HORIZON_S, JobStream, as_stream
-from repro.workload.swf import iter_swf, load_swf, retype_jobs, stream_swf
-from repro.workload.theta import ThetaWorkloadGenerator, generate_trace
+from repro.workload.swf import (
+    iter_retyped,
+    iter_swf,
+    load_swf,
+    retype_jobs,
+    retype_stream,
+    stream_swf,
+)
+from repro.workload.theta import (
+    ThetaWorkloadGenerator,
+    generate_trace,
+    stream_jobs_from_rows,
+)
+from repro.workload.trace_cache import (
+    TraceCache,
+    get_trace_cache,
+    reset_trace_cache,
+)
 from repro.workload.validate import Finding, assert_valid, validate_trace
 from repro.workload.trace import (
     characterize_sizes,
@@ -64,10 +80,16 @@ __all__ = [
     "DEFAULT_NOTICE_HORIZON_S",
     "JobStream",
     "as_stream",
+    "iter_retyped",
     "iter_swf",
     "load_swf",
     "retype_jobs",
+    "retype_stream",
     "stream_swf",
+    "stream_jobs_from_rows",
+    "TraceCache",
+    "get_trace_cache",
+    "reset_trace_cache",
     "characterize_sizes",
     "clone_jobs",
     "load_trace_csv",

@@ -8,6 +8,7 @@ the same spec, so every statistical property is exercised at any scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Tuple
 
 from repro.util.errors import ConfigurationError
@@ -228,13 +229,30 @@ class WorkloadSpec:
         return WorkloadSpec(**kwargs)  # type: ignore[arg-type]
 
 
+def _build_theta_spec(days: float, **overrides) -> WorkloadSpec:
+    from dataclasses import replace
+
+    return replace(WorkloadSpec(days=days), **overrides)
+
+
+@lru_cache(maxsize=256)
+def _theta_spec_cached(days: float, items: tuple) -> WorkloadSpec:
+    return _build_theta_spec(days, **dict(items))
+
+
 def theta_spec(days: float = 365.0, **overrides) -> WorkloadSpec:
     """The Theta-calibrated spec, optionally shortened or tweaked.
+
+    Specs are frozen, so identical calls share one memoized instance —
+    campaign cells resolve their workload spec several times per cell
+    and the two construct-and-validate passes here showed up in
+    profiles.  Unhashable override values fall back to a fresh build.
 
     >>> spec = theta_spec(days=28, target_load=0.9)
     >>> spec.system_size
     4392
     """
-    from dataclasses import replace
-
-    return replace(WorkloadSpec(days=days), **overrides)
+    try:
+        return _theta_spec_cached(days, tuple(sorted(overrides.items())))
+    except TypeError:
+        return _build_theta_spec(days, **overrides)

@@ -141,22 +141,27 @@ def load_swf(
     )
 
 
-def retype_jobs(
+def _retype_rows(
     jobs: Sequence[Job],
     frac_projects_ondemand: float,
     frac_projects_rigid: float,
     notice_mix: NoticeMix,
     rng: np.random.Generator,
     system_size: int,
-    malleable_min_size_frac: float = 0.2,
-    rigid_setup_frac: tuple = (0.05, 0.10),
-    malleable_setup_frac: tuple = (0.0, 0.05),
-    lead_range_s: tuple = (900.0, 1800.0),
-    late_window_s: float = 1800.0,
-) -> List[Job]:
-    """Apply the paper's §IV-A type assignment to a rigid (SWF) trace.
+    malleable_min_size_frac: float,
+    rigid_setup_frac: tuple,
+    malleable_setup_frac: tuple,
+    lead_range_s: tuple,
+    late_window_s: float,
+) -> List[dict]:
+    """The §IV-A type-assignment draws, as lightweight rows.
 
-    Returns new Job objects; the input list is not modified.
+    Performs every RNG draw in the exact order :func:`retype_jobs` has
+    always used (project types → per-job oversize reassignments in file
+    order → notice classes over the on-demand rows → setup fractions in
+    file order), then sorts rows into submit order — so the jobs built
+    from these rows are byte-identical whether materialised eagerly or
+    streamed.  Input jobs are referenced, never mutated.
     """
     projects = sorted({j.project for j in jobs})
     remap: Dict[int, int] = {p: i for i, p in enumerate(projects)}
@@ -177,34 +182,147 @@ def retype_jobs(
         )
     od_rows = [r for r in rows if r["type"] is JobType.ONDEMAND]
     assign_notice_classes(od_rows, notice_mix, rng, lead_range_s, late_window_s)
-    out: List[Job] = []
     for row in rows:
         j = row["job"]
         jtype = row["type"]
         if jtype is JobType.RIGID:
-            setup = rng.uniform(*rigid_setup_frac) * j.runtime
-            min_size = None
+            row["setup"] = rng.uniform(*rigid_setup_frac) * j.runtime
+            row["min_size"] = None
         elif jtype is JobType.MALLEABLE:
-            setup = rng.uniform(*malleable_setup_frac) * j.runtime
-            min_size = max(1, int(math.ceil(malleable_min_size_frac * j.size)))
-        else:
-            setup = 0.0
-            min_size = None
-        out.append(
-            Job(
-                job_id=j.job_id,
-                job_type=jtype,
-                submit_time=row["submit"],
-                size=j.size,
-                runtime=j.runtime,
-                estimate=j.estimate,
-                setup_time=setup,
-                min_size=min_size,
-                project=j.project,
-                notice_class=row.get("notice_class", j.notice_class),
-                notice_time=row.get("notice_time"),
-                estimated_arrival=row.get("estimated_arrival"),
+            row["setup"] = rng.uniform(*malleable_setup_frac) * j.runtime
+            row["min_size"] = max(
+                1, int(math.ceil(malleable_min_size_frac * j.size))
             )
+        else:
+            row["setup"] = 0.0
+            row["min_size"] = None
+    # Same permutation as sorting the built jobs by (submit_time, job_id).
+    rows.sort(key=lambda r: (r["submit"], r["job"].job_id))
+    return rows
+
+
+def _job_from_retype_row(row: dict) -> Job:
+    j = row["job"]
+    return Job(
+        job_id=j.job_id,
+        job_type=row["type"],
+        submit_time=row["submit"],
+        size=j.size,
+        runtime=j.runtime,
+        estimate=j.estimate,
+        setup_time=row["setup"],
+        min_size=row["min_size"],
+        project=j.project,
+        notice_class=row.get("notice_class", j.notice_class),
+        notice_time=row.get("notice_time"),
+        estimated_arrival=row.get("estimated_arrival"),
+    )
+
+
+def iter_retyped(
+    jobs: Sequence[Job],
+    frac_projects_ondemand: float,
+    frac_projects_rigid: float,
+    notice_mix: NoticeMix,
+    rng: np.random.Generator,
+    system_size: int,
+    malleable_min_size_frac: float = 0.2,
+    rigid_setup_frac: tuple = (0.05, 0.10),
+    malleable_setup_frac: tuple = (0.0, 0.05),
+    lead_range_s: tuple = (900.0, 1800.0),
+    late_window_s: float = 1800.0,
+) -> Iterator[Job]:
+    """:func:`retype_jobs` yielded lazily, one fresh job at a time.
+
+    All draws happen up front (the assignment is correlated across the
+    whole trace), but Job construction is deferred — streaming a cached,
+    shared rigid trace (see :mod:`repro.workload.trace_cache`) through
+    here keeps the mutable Job layer O(in-flight).
+    """
+    rows = _retype_rows(
+        jobs,
+        frac_projects_ondemand,
+        frac_projects_rigid,
+        notice_mix,
+        rng,
+        system_size,
+        malleable_min_size_frac,
+        rigid_setup_frac,
+        malleable_setup_frac,
+        lead_range_s,
+        late_window_s,
+    )
+    rows.reverse()
+    while rows:
+        yield _job_from_retype_row(rows.pop())
+
+
+def retype_stream(
+    jobs: Sequence[Job],
+    frac_projects_ondemand: float,
+    frac_projects_rigid: float,
+    notice_mix: NoticeMix,
+    rng: np.random.Generator,
+    system_size: int,
+    malleable_min_size_frac: float = 0.2,
+    rigid_setup_frac: tuple = (0.05, 0.10),
+    malleable_setup_frac: tuple = (0.0, 0.05),
+    lead_range_s: tuple = (900.0, 1800.0),
+    late_window_s: float = 1800.0,
+) -> JobStream:
+    """:func:`iter_retyped` wrapped for the simulator's streaming path.
+
+    Unlike raw SWF jobs (horizon 0), retyped traces carry advance
+    notices: a notice precedes its job's submission by at most the
+    maximum lead plus the late window, so that is the stream's horizon.
+    """
+    return JobStream(
+        iter_retyped(
+            jobs,
+            frac_projects_ondemand,
+            frac_projects_rigid,
+            notice_mix,
+            rng,
+            system_size,
+            malleable_min_size_frac,
+            rigid_setup_frac,
+            malleable_setup_frac,
+            lead_range_s,
+            late_window_s,
+        ),
+        notice_horizon_s=lead_range_s[1] + late_window_s,
+    )
+
+
+def retype_jobs(
+    jobs: Sequence[Job],
+    frac_projects_ondemand: float,
+    frac_projects_rigid: float,
+    notice_mix: NoticeMix,
+    rng: np.random.Generator,
+    system_size: int,
+    malleable_min_size_frac: float = 0.2,
+    rigid_setup_frac: tuple = (0.05, 0.10),
+    malleable_setup_frac: tuple = (0.0, 0.05),
+    lead_range_s: tuple = (900.0, 1800.0),
+    late_window_s: float = 1800.0,
+) -> List[Job]:
+    """Apply the paper's §IV-A type assignment to a rigid (SWF) trace.
+
+    Returns new Job objects; the input list is not modified.
+    """
+    return list(
+        iter_retyped(
+            jobs,
+            frac_projects_ondemand,
+            frac_projects_rigid,
+            notice_mix,
+            rng,
+            system_size,
+            malleable_min_size_frac,
+            rigid_setup_frac,
+            malleable_setup_frac,
+            lead_range_s,
+            late_window_s,
         )
-    out.sort(key=lambda x: (x.submit_time, x.job_id))
-    return out
+    )

@@ -114,11 +114,11 @@ class ThetaWorkloadGenerator:
         *estimated* arrival by at most the maximum lead, and the actual
         submission trails the estimate by at most the late window.
         """
-        return self.spec.notice_lead_range_s[1] + self.spec.late_window_s
+        return notice_horizon_s(self.spec)
 
     def generate(self) -> List[Job]:
         """Produce the trace: a submit-time-sorted list of fresh jobs."""
-        rows = self._build_rows()
+        rows = self.build_rows()
         return [self._job_from_row(job_id, row) for job_id, row in enumerate(rows)]
 
     def iter_jobs(self) -> JobStream:
@@ -134,7 +134,7 @@ class ThetaWorkloadGenerator:
         population), so generation is O(trace) in *row* memory but the
         expensive Job layer stays O(in-flight).
         """
-        rows = self._build_rows()
+        rows = self.build_rows()
 
         def emit() -> Iterator[Job]:
             # pop from the tail of the reversed list: ascending submit
@@ -147,8 +147,17 @@ class ThetaWorkloadGenerator:
 
         return JobStream(emit(), notice_horizon_s=self.notice_horizon_s)
 
-    def _build_rows(self) -> List[dict]:
-        """Steps 1–5 of the pipeline: submit-sorted intermediate rows."""
+    def build_rows(self) -> List[dict]:
+        """Steps 1–5 of the pipeline: submit-sorted intermediate rows.
+
+        Rows are the generator's lightweight pre-Job form — plain dicts
+        carrying every sampled field.  They are what the process-wide
+        :class:`~repro.workload.trace_cache.TraceCache` stores, because
+        one row list can back any number of simulations (each builds its
+        own fresh mutable :class:`Job` objects via
+        :func:`stream_jobs_from_rows`) while a Job list cannot be shared
+        (simulations mutate job state in place).
+        """
         s = self.spec
         rng_shape = self.streams.get("shape")
         rng_proj = self.streams.get("projects")
@@ -252,6 +261,34 @@ class ThetaWorkloadGenerator:
             estimated_arrival=row.get("estimated_arrival"),
             no_show=row.get("no_show", False),
         )
+
+
+def notice_horizon_s(spec: WorkloadSpec) -> float:
+    """Upper bound on ``submit_time - notice_time`` for a spec's traces.
+
+    The widest gap is a LATE arrival: its notice precedes the *estimated*
+    arrival by at most the maximum lead, and the actual submission trails
+    the estimate by at most the late window.
+    """
+    return spec.notice_lead_range_s[1] + spec.late_window_s
+
+
+def stream_jobs_from_rows(spec: WorkloadSpec, rows: List[dict]) -> JobStream:
+    """Lazily build fresh jobs from shared generator rows.
+
+    Unlike :meth:`ThetaWorkloadGenerator.iter_jobs`, which consumes its
+    own private row list destructively, this enumerates ``rows`` without
+    mutating them — the point is to stream many simulations off one
+    cached row list (see :mod:`repro.workload.trace_cache`).  Job ids
+    and ordering match :func:`generate_trace` exactly, so a simulation
+    fed from here is byte-identical to the materialized path.
+    """
+
+    def emit() -> Iterator[Job]:
+        for job_id, row in enumerate(rows):
+            yield ThetaWorkloadGenerator._job_from_row(job_id, row)
+
+    return JobStream(emit(), notice_horizon_s=notice_horizon_s(spec))
 
 
 def generate_trace(spec: WorkloadSpec, seed: int = 0) -> List[Job]:
